@@ -1,0 +1,113 @@
+"""Ablations beyond the paper's tables — design choices DESIGN.md calls out.
+
+* **Prior family** — the paper fixes the q-GGMRF; quadratic vs q-GGMRF
+  changes reconstruction character (edge preservation) at similar cost.
+* **SV selection policy** — Alg. 2/3's all / top-k / random alternation vs
+  plain everything-every-iteration.
+* **Intra-SV staleness** — the paper *suspects* "the intra-SV parallelism
+  slows the convergence" (§5.4); the emulation quantifies it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.core import (
+    GPUICDParams,
+    QGGMRFPrior,
+    QuadraticPrior,
+    gpu_icd_reconstruct,
+    psv_icd_reconstruct,
+    rmse_hu,
+)
+from repro.ct.phantoms import MU_WATER
+from repro.harness import scaled_gpu_params
+
+
+def bench_prior_ablation(ctx):
+    case = ctx.cases[0]
+    scan = ctx.scan(case)
+    lines = ["Prior            RMSE-vs-phantom(HU)  Equits-to-cost-plateau"]
+    rows = {}
+    for name, prior in [
+        ("q-GGMRF(q=1.2)", QGGMRFPrior(sigma=2.0 * MU_WATER, q=1.2, T=1.0)),
+        ("quadratic", QuadraticPrior(sigma=2.0 * MU_WATER)),
+    ]:
+        res = psv_icd_reconstruct(
+            scan, ctx.system, prior=prior, sv_side=8, max_equits=12, seed=0,
+        )
+        costs = res.history.costs
+        plateau = next(
+            (r.equits for r, c0, c1 in zip(res.history.records[1:], costs, costs[1:])
+             if c0 - c1 < 1e-4 * abs(costs[0])),
+            res.history.equits,
+        )
+        err = rmse_hu(res.image, case.image)
+        rows[name] = (err, plateau)
+        lines.append(f"{name:16s} {err:18.1f}  {plateau:10.2f}")
+    report("ABLATION — prior family", "\n".join(lines))
+    # The edge-preserving prior should not be worse than quadratic.
+    assert rows["q-GGMRF(q=1.2)"][0] <= rows["quadratic"][0] * 1.1
+    return rows
+
+
+def bench_selection_ablation(ctx):
+    """NH-style selection (top-k/random alternation) vs full sweeps."""
+    case = ctx.cases[0]
+    scan = ctx.scan(case)
+    golden = ctx.golden(case)
+    lines = ["Policy                 Equits-to-15HU"]
+    equits = {}
+    for name, fraction in [("alternating 20%", 0.20), ("alternating 50%", 0.50),
+                           ("full sweeps", 1.0)]:
+        res = psv_icd_reconstruct(
+            scan, ctx.system, sv_side=8, fraction=fraction, max_equits=ctx.max_equits,
+            golden=golden, stop_rmse=15.0, seed=0, track_cost=False,
+        )
+        eq = res.history.converged_equits or res.history.equits
+        equits[name] = eq
+        lines.append(f"{name:22s} {eq:8.2f}")
+    report("ABLATION — SuperVoxel selection policy", "\n".join(lines))
+    # Focused selection is competitive with (usually better than) full sweeps.
+    assert equits["alternating 20%"] <= equits["full sweeps"] * 1.3
+    return equits
+
+
+def bench_staleness_ablation(ctx):
+    """Equits to converge vs intra-SV concurrency width."""
+    case = ctx.cases[0]
+    scan = ctx.scan(case)
+    golden = ctx.golden(case)
+    base = scaled_gpu_params(ctx.n_pixels)
+    lines = ["TB/SV(stale width)  Equits-to-15HU"]
+    eqs = {}
+    for tb in (1, 4, 16):
+        p = GPUICDParams(
+            sv_side=base.sv_side, threadblocks_per_sv=tb, batch_size=base.batch_size
+        )
+        res = gpu_icd_reconstruct(
+            scan, ctx.system, params=p, max_equits=ctx.max_equits, golden=golden,
+            stop_rmse=15.0, seed=0, track_cost=False,
+        )
+        eqs[tb] = res.history.converged_equits or res.history.equits
+        lines.append(f"{tb:18d}  {eqs[tb]:8.2f}")
+    report(
+        "ABLATION — intra-SV staleness (the §5.4 conjecture, quantified)",
+        "\n".join(lines),
+    )
+    # Staleness never improves convergence appreciably.
+    assert eqs[16] >= eqs[1] * 0.9
+    return eqs
+
+
+def test_ablation_priors(benchmark, ctx):
+    benchmark.pedantic(bench_prior_ablation, args=(ctx,), rounds=1, iterations=1)
+
+
+def test_ablation_selection(benchmark, ctx):
+    benchmark.pedantic(bench_selection_ablation, args=(ctx,), rounds=1, iterations=1)
+
+
+def test_ablation_staleness(benchmark, ctx):
+    benchmark.pedantic(bench_staleness_ablation, args=(ctx,), rounds=1, iterations=1)

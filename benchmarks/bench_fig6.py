@@ -1,0 +1,35 @@
+"""Fig. 6 — speedup of the data-layout transformation vs chunk width.
+
+Paper: "The chunk width of 32 performs the best, obtaining a speedup of
+2.1X.  Widths that are multiples of warp size (i.e. 32) perform better
+because they achieve aligned memory accesses."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.harness import run_fig6
+
+
+def bench_fig6(ctx):
+    result = run_fig6(ctx)
+    report(
+        "FIG 6 — Data-layout transformation speedup vs chunk width",
+        result.format() + "\npaper: best = 32 at 2.1x",
+    )
+    assert result.best_width == 32
+    best = max(result.speedups)
+    assert 1.6 < best < 2.7  # paper: 2.1x
+    by_width = dict(zip(result.widths, result.speedups))
+    # Small widths under-perform (narrow requests), large widths pay padding.
+    assert by_width[4] < by_width[32]
+    assert by_width[128] < by_width[32]
+    # Warp-size multiples beat the unaligned neighbor below them.
+    assert by_width[64] >= by_width[48] * 0.95
+    return result
+
+
+def test_fig6(benchmark, ctx):
+    benchmark.pedantic(bench_fig6, args=(ctx,), rounds=1, iterations=1)

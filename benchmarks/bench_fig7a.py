@@ -1,0 +1,42 @@
+"""Fig. 7a — SuperVoxel side length vs performance and convergence.
+
+Paper: execution time is U-shaped with the best side at 33 ("it achieves
+the highest L2 throughput"; smaller sides suffer atomic contention and
+per-SV overheads, larger sides overflow the L2); the number of equits
+*increases* with SV side ("updates to the error sinogram occur at coarser
+granularity, slowing down the algorithmic convergence").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.harness import run_fig7a
+
+
+def bench_fig7a(ctx):
+    result = run_fig7a(ctx)
+    report(
+        "FIG 7a — SuperVoxel side length (time modeled, equits measured)",
+        result.format() + "\npaper: best side 33; equits grow with side",
+    )
+    sides = [r["side"] for r in result.rows]
+    eq_times = np.array([r["equit_time"] for r in result.rows])
+    # Model time per equit is U-shaped with the minimum in the paper's zone.
+    assert result.rows[0]["equit_time"] > eq_times.min()  # side 9 worse
+    best_model_side = sides[int(np.argmin(eq_times))]
+    assert best_model_side in (25, 33, 41)
+    # The paper's equits-grow-with-side slope is a ~20% effect that scaled
+    # problems do not resolve (EXPERIMENTS.md); assert only that measured
+    # equits stay in a sane band across the sweep.  The convergence cost of
+    # coarser error updates is demonstrated directly by Fig 7d and the
+    # staleness ablation.
+    equits = np.array([r["equits"] for r in result.rows])
+    assert equits.max() < 2.0 * equits.min()
+    assert np.all(equits > 0)
+    return result
+
+
+def test_fig7a(benchmark, ctx):
+    benchmark.pedantic(bench_fig7a, args=(ctx,), rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Fig. 7b — threadblocks per SV (intra-SV parallelism granularity).
+
+Paper: "The performance improves with the number of threadblocks used per
+SV ... A moderately high number of threadblocks per SV achieves higher L2
+temporal cache locality.  The performance saturates after 32 threadblocks."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.harness import run_fig7b
+
+
+def bench_fig7b(ctx):
+    result = run_fig7b(ctx)
+    report(
+        "FIG 7b — Threadblocks per SuperVoxel",
+        result.format() + "\npaper: improves with TB/SV, saturates after 32",
+    )
+    t = dict(zip(result.values, result.equit_times))
+    # Strong improvement from 1 to 32.
+    assert t[1] > 3.0 * t[32]
+    # Monotone improvement through the unsaturated region.
+    assert t[1] > t[4] > t[32]
+    # Saturation: 40 and 64 within ~25% of 32.
+    assert t[40] < 1.25 * t[32]
+    assert t[64] < 1.3 * t[32]
+    return result
+
+
+def test_fig7b(benchmark, ctx):
+    benchmark.pedantic(bench_fig7b, args=(ctx,), rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Fig. 7c — threads per threadblock (intra-voxel parallelism granularity).
+
+Paper: 256 threads perform best.  "384 threads per threadblock result in
+lower occupancy"; with 64 threads "the small threadcount per block results
+in larger active threadblock count ... more SVBs being accessed
+simultaneously, leading to L2 conflicts"; 512 threads cause "asymmetric
+work distribution of the 720 views" and higher reduction cost.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.harness import run_fig7c
+
+
+def bench_fig7c(ctx):
+    result = run_fig7c(ctx)
+    occ = result.extra["occupancy"]
+    body = result.format() + "\noccupancy: " + ", ".join(
+        f"{v}:{occ[v]:.0%}" for v in result.values
+    )
+    report("FIG 7c — Threads per threadblock", body + "\npaper: 256 best")
+    t = dict(zip(result.values, result.equit_times))
+    assert t[256] <= min(t.values()) * 1.05  # 256 in the best region
+    assert t[64] > 1.2 * t[256]  # L2 conflicts
+    assert t[512] > 1.2 * t[256]  # view asymmetry
+    assert occ[256] == 1.0
+    assert occ[384] < 1.0  # the paper's occupancy dip
+    return result
+
+
+def test_fig7c(benchmark, ctx):
+    benchmark.pedantic(bench_fig7c, args=(ctx,), rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Fig. 7d — SVs per kernel launch (batch size).
+
+Paper: "The lower this number, the higher the total number of kernel
+launches, resulting in higher overheads ...  If the number gets too high,
+then updates to error sinogram start taking place at coarser granularity,
+leading to slower algorithmic convergence."  The second effect is a
+*convergence* effect, so this bench measures it with real scaled runs.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.harness import run_fig7d
+
+
+def bench_fig7d(ctx):
+    result = run_fig7d(ctx, measure_convergence=True)
+    eq = result.extra["equits"]
+    tot = result.extra["total_times"]
+    lines = ["Batch  s/Equit(model)  Equits(measured)  Total(s)"]
+    for v, t in zip(result.values, result.equit_times):
+        lines.append(f"{v:5d}  {t:13.4f}  {eq[v]:16.2f}  {tot[v]:8.3f}")
+    report(
+        "FIG 7d — SVs per batch (kernel launch)",
+        "\n".join(lines) + "\npaper: small batches pay launch overhead, large slow convergence",
+    )
+    t = dict(zip(result.values, result.equit_times))
+    # Launch overhead penalises tiny batches in the hardware model.
+    assert t[2] > 1.3 * t[32]
+    # Convergence does not improve with very large batches.
+    assert eq[128] >= eq[8] * 0.9
+    return result
+
+
+def test_fig7d(benchmark, ctx):
+    benchmark.pedantic(bench_fig7d, args=(ctx,), rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""Ensemble statistics — the distributional view behind Table 1.
+
+The paper aggregates 3200 slices into geometric means and standard
+deviations; this bench runs the same protocol over the (scaled) synthetic
+ensemble and reports distributions, including the paper's observation that
+GPU-ICD's run-to-run variation is far below PSV-ICD's ("We suspect that
+GPU-ICD is being limited by the span, lowering the deviation").
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.harness.suite import run_suite
+
+
+def bench_suite(ctx):
+    stats = run_suite(ctx)
+    report(
+        "SUITE STATISTICS — distributional Table 1 over the ensemble",
+        stats.format()
+        + "\npaper (3200 slices): PSV-ICD std 0.535 s vs GPU-ICD std 0.083 s",
+    )
+    # Orderings hold on every case.
+    assert (stats.times["gpu"] < stats.times["psv"]).all()
+    assert (stats.times["psv"] < stats.times["seq"]).all()
+    # Relative spread: GPU's coefficient of variation does not exceed PSV's
+    # (the paper's low-deviation observation).
+    cv_gpu = stats.times["gpu"].std() / stats.times["gpu"].mean()
+    cv_psv = stats.times["psv"].std() / stats.times["psv"].mean()
+    assert cv_gpu <= cv_psv * 1.3
+    return stats
+
+
+def test_suite_stats(benchmark, ctx):
+    benchmark.pedantic(bench_suite, args=(ctx,), rounds=1, iterations=1)

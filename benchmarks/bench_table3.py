@@ -1,0 +1,68 @@
+"""Table 3 — slowdown when each GPU-specific optimization is turned off.
+
+Paper:
+
+    Reading Sinogram as double            1.053x
+    Placing Variables on Shared Memory    1.124x
+    Exploiting Intra-SV Parallelism       6.251x
+    Dynamic voxel distribution            1.064x
+    Setting threshold for batch sizes     1.099x
+
+Also prints the §5.3 bandwidth accounting (the paper reports an aggregate
+1802 GB/s = 5.36x device-memory bandwidth across the cache levels).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.gpu_icd import GPUICDParams
+from repro.gpusim import GPUKernelConfig
+from repro.harness import run_table3
+
+
+def _bandwidth_summary(ctx) -> str:
+    params = GPUICDParams()
+    cfg = GPUKernelConfig()
+    kc = ctx.gpu_model.mbir_kernel_cost(
+        32, 33**2 * 0.6, params, cfg, skipped_per_sv=33**2 * 0.4
+    )
+    lines = [f"kernel bottleneck: {kc.bottleneck}"]
+    for level, t in sorted(kc.times.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {level:9s} service time {t * 1e3:7.3f} ms")
+    lines.append(f"  occupancy {kc.occupancy:.2f}, latency hiding {kc.hiding_factor:.2f}, "
+                 f"SVB L2 hit {kc.l2_hit_rate:.2f}, tex hit {kc.tex_hit_rate:.2f}")
+    bw = ctx.gpu_model.bandwidth_report(params, cfg)
+    lines.append(
+        f"achieved bandwidth: L2 {bw['l2_gbps']:.0f} GB/s (paper 472), "
+        f"shared {bw['shared_gbps']:.0f} (456), tex {bw['tex_gbps']:.0f} (702), "
+        f"dram {bw['dram_gbps']:.0f} (152)"
+    )
+    lines.append(
+        f"aggregate {bw['total_gbps']:.0f} GB/s = {bw['ratio_to_dram_peak']:.2f}x "
+        f"device-memory peak (paper: 1802 GB/s = 5.36x)"
+    )
+    return "\n".join(lines)
+
+
+def bench_table3(ctx):
+    result = run_table3(ctx)
+    report(
+        "TABLE 3 — Impact of GPU-specific optimizations (off => slowdown)",
+        result.format()
+        + "\npaper: 1.053 / 1.124 / 6.251 / 1.064 / 1.099\n\n"
+        + _bandwidth_summary(ctx),
+    )
+    slow = {r["name"]: r["slowdown"] for r in result.rows}
+    assert 1.02 < slow["Reading Sinogram as double"] < 1.35
+    assert 1.05 < slow["Placing Variables on the Shared Memory"] < 1.35
+    assert 4.0 < slow["Exploiting Intra-SV Parallelism"] < 9.0
+    assert 1.0 < slow["Dynamic voxel distribution"] < 1.25
+    assert 0.95 < slow["Setting threshold for batch sizes"] < 1.6
+    # Intra-SV parallelism is by far the most important optimization.
+    assert slow["Exploiting Intra-SV Parallelism"] == max(slow.values())
+    return result
+
+
+def test_table3(benchmark, ctx):
+    benchmark.pedantic(bench_table3, args=(ctx,), rounds=1, iterations=1)

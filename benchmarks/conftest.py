@@ -1,0 +1,35 @@
+"""Shared state for the benchmark suite.
+
+One :class:`~repro.harness.experiments.ExperimentContext` is built per
+session: all benchmark targets share its system matrix, scans and golden
+reconstructions, so the suite's wall time goes into the experiments
+themselves.
+
+Scale note: real-numerics runs happen at BENCH_PIXELS^2 (the paper's
+view/channel ratios preserved); reported seconds come from the calibrated
+Titan X / Xeon models on the paper's full 512^2 geometry.  See DESIGN.md §2
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import ExperimentContext
+
+#: Override via environment for a bigger (slower, higher-fidelity) run.
+BENCH_PIXELS = int(os.environ.get("REPRO_BENCH_PIXELS", "64"))
+BENCH_CASES = int(os.environ.get("REPRO_BENCH_CASES", "3"))
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(n_pixels=BENCH_PIXELS, n_cases=BENCH_CASES)
+
+
+def report(title: str, body: str) -> None:
+    """Uniform experiment banner in the benchmark output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,120 @@
+"""§6 generalization: GPU-ICD's structure on a generic least-squares problem.
+
+Builds a sparse weighted-least-squares instance (a stand-in for the
+synchrotron/SVM/geophysics problems §6 lists), derives the three-level
+structure statistically — supervariables by *maximising* the column
+correlation ``sum_k |A_ki||A_kj|``, concurrent color classes by
+*minimising* it — and compares sequential coordinate descent against the
+grouped (checkerboarded, stale-wave) solver.  Finishes with footnote 2's
+claim: on a linear system, the same scheme is parallel Gauss-Seidel.
+
+Run:  python examples/generalized_solver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.solvers import (
+    cd_solve,
+    cluster_supervariables,
+    color_groups,
+    colored_gauss_seidel,
+    coupling_colors,
+    gauss_seidel,
+    grouped_cd_solve,
+    jacobi,
+    random_sparse_problem,
+)
+
+
+def wls_demo() -> None:
+    print("== generic WLS: min ||y - Ax||^2_Lambda  (banded, CT-like A) ==")
+    problem, x_true = random_sparse_problem(
+        600, 120, density=0.04, banded=True, noise=0.01, seed=7
+    )
+    direct = problem.solve_direct()
+
+    groups = cluster_supervariables(problem, group_size=8)
+    colors = color_groups(problem, groups)
+    print(f"   {problem.n} unknowns -> {len(groups)} supervariables "
+          f"-> {len(colors)} concurrent color classes (generalized checkerboard)")
+
+    seq = cd_solve(problem, max_sweeps=200, tol=1e-14)
+    par = grouped_cd_solve(
+        problem, groups=groups, colors=colors, stale_width=4, max_sweeps=200, tol=1e-14
+    )
+    print(f"   sequential CD : {seq.iterations:3d} sweeps, "
+          f"final cost {seq.final_cost:.6e}")
+    print(f"   grouped CD    : {par.iterations:3d} sweeps, "
+          f"final cost {par.final_cost:.6e} (4 coords/group in flight)")
+    print(f"   both match the normal-equations solution: "
+          f"{np.max(np.abs(seq.x - direct)):.2e} / {np.max(np.abs(par.x - direct)):.2e}")
+    print(f"   recovery of generating x: corr = "
+          f"{np.corrcoef(par.x, x_true)[0, 1]:.4f}")
+
+
+def gauss_seidel_demo() -> None:
+    print("\n== footnote 2: on a linear system this is parallel Gauss-Seidel ==")
+    n = 32
+    l1 = sp.diags([[-1.0] * (n - 1), [2.3] * n, [-1.0] * (n - 1)], [-1, 0, 1])
+    M = (sp.kron(sp.identity(n), l1) + sp.kron(l1, sp.identity(n))).tocsr()
+    b = np.ones(M.shape[0])
+    colors = coupling_colors(M)
+    print(f"   2-D Laplacian ({M.shape[0]} unknowns): "
+          f"{len(colors)} colors (red-black)")
+    for name, solver in [
+        ("sequential Gauss-Seidel", gauss_seidel),
+        ("colored (parallel) GS  ", colored_gauss_seidel),
+        ("Jacobi (fully stale)   ", jacobi),
+    ]:
+        res = solver(M, b, max_iters=4000, tol=1e-10)
+        print(f"   {name}: {res.iterations:4d} iterations "
+              f"(converged={res.converged})")
+
+
+
+
+def svm_demo() -> None:
+    print("\n== §6 application: dual coordinate descent for a linear SVM ==")
+    from repro.solvers import make_classification, svm_dual_cd
+
+    problem = make_classification(150, 30, density=0.25, margin=1.0, seed=9)
+    seq = svm_dual_cd(problem, max_sweeps=200, tol=1e-12)
+    par = svm_dual_cd(problem, max_sweeps=200, tol=1e-12, group_size=10, stale_width=4)
+    print(f"   sequential dual CD: obj {seq.objectives[-1]:.6f}, "
+          f"{seq.iterations} sweeps, accuracy {problem.accuracy(seq.w):.0%}")
+    print(f"   grouped dual CD   : obj {par.objectives[-1]:.6f}, "
+          f"{par.iterations} sweeps, accuracy {problem.accuracy(par.w):.0%} "
+          f"(10-dual supervariables, 4 in flight)")
+
+
+def robust_demo() -> None:
+    print("\n== §6 application: robust modeling with erratic data (Claerbout/Muir) ==")
+    import scipy.sparse as sp
+    from repro.solvers import irls_solve
+
+    rng = np.random.default_rng(4)
+    A = sp.csc_matrix(rng.standard_normal((200, 12)))
+    x_true = rng.standard_normal(12)
+    y = A @ x_true + 0.01 * rng.standard_normal(200)
+    bad = rng.choice(200, size=15, replace=False)
+    y[bad] += rng.uniform(5, 25, size=15) * rng.choice([-1, 1], size=15)
+
+    res = irls_solve(A, y, delta=0.1)
+    ls = np.linalg.lstsq(A.toarray(), y, rcond=None)[0]
+    print(f"   15 gross outliers in 200 measurements")
+    print(f"   least squares max error : {np.max(np.abs(ls - x_true)):.3f}")
+    print(f"   Huber-IRLS max error    : {np.max(np.abs(res.x - x_true)):.4f} "
+          f"({res.outer_iterations} reweighting rounds)")
+    flagged = np.nonzero(res.outlier_mask())[0]
+    print(f"   outliers identified: {len(set(flagged) & set(bad))}/{len(bad)} "
+          f"(plus {len(set(flagged) - set(bad))} borderline)")
+
+
+if __name__ == "__main__":
+    wls_demo()
+    gauss_seidel_demo()
+    svm_demo()
+    robust_demo()

@@ -1,0 +1,84 @@
+"""GPU performance exploration with the Titan X model (§5.4 in miniature).
+
+The paper closes by noting that "various parameters can greatly impact the
+performance of GPU-ICD" and proposes (as future work) a model that selects
+input-specific parameter values.  This example *is* such a model session:
+it sweeps the four tuning parameters of Figs. 7a-7d plus the chunk width of
+Fig. 6 over the full-size geometry, prints the trade-offs, and reports the
+best configuration it finds.
+
+Run:  python examples/gpu_performance_tuning.py
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro import GPUICDParams, GPUKernelConfig, GPUTimingModel, TITAN_X, occupancy, paper_geometry
+
+ZSF = 0.4  # typical zero-skip fraction of a security-scan slice
+
+
+def occupancy_table() -> None:
+    print("== occupancy (the §4.2 story) ==")
+    print("   build                    regs  shared/blk  occupancy  limiter")
+    for label, cfg in [
+        ("natural (44 regs)", GPUKernelConfig(shared_spill=False)),
+        ("spilled-to-shared (32)", GPUKernelConfig(shared_spill=True)),
+    ]:
+        occ = occupancy(
+            TITAN_X, 256, cfg.registers_per_thread, cfg.shared_bytes_per_block(256)
+        )
+        print(
+            f"   {label:24s} {cfg.registers_per_thread:4d}  "
+            f"{cfg.shared_bytes_per_block(256):9d}  {occ.percent:8.1f}%  {occ.limiter}"
+        )
+
+
+def sweep(model: GPUTimingModel, name: str, values, make_params) -> None:
+    print(f"\n== sweep: {name} ==")
+    cfg = GPUKernelConfig()
+    best = None
+    for v in values:
+        t = model.equit_time(make_params(v), cfg, zero_skip_fraction=ZSF)
+        marker = ""
+        if best is None or t < best[1]:
+            best = (v, t)
+            marker = "  <-- best so far"
+        print(f"   {name}={v:<5}  {t * 1e3:7.2f} ms/equit{marker}")
+    print(f"   best {name}: {best[0]}")
+
+
+def joint_search(model: GPUTimingModel) -> None:
+    print("\n== small joint search (SV side x TB/SV x chunk width) ==")
+    cfg = GPUKernelConfig()
+    best = None
+    for side, tb, cw in itertools.product((25, 33, 41), (24, 32, 40), (32, 64)):
+        p = GPUICDParams(sv_side=side, threadblocks_per_sv=tb, chunk_width=cw)
+        t = model.equit_time(p, cfg, zero_skip_fraction=ZSF)
+        if best is None or t < best[1]:
+            best = (p, t)
+    p, t = best
+    print(f"   best: side={p.sv_side} tb/SV={p.threadblocks_per_sv} "
+          f"chunk={p.chunk_width} -> {t * 1e3:.2f} ms/equit")
+    print("   paper's tuned point: side=33 tb/SV=40 chunk=32 (0.07 s/equit / 5.9 equits)")
+
+
+def main() -> None:
+    model = GPUTimingModel(paper_geometry())
+    occupancy_table()
+    sweep(model, "sv_side", (9, 17, 25, 33, 41, 49),
+          lambda v: GPUICDParams(sv_side=v))
+    sweep(model, "threadblocks_per_sv", (1, 4, 8, 16, 32, 40, 64),
+          lambda v: GPUICDParams(threadblocks_per_sv=v))
+    sweep(model, "threads_per_block", (64, 128, 192, 256, 384, 512),
+          lambda v: GPUICDParams(threads_per_block=v))
+    sweep(model, "batch_size", (2, 4, 8, 16, 32, 64, 128),
+          lambda v: GPUICDParams(batch_size=v))
+    sweep(model, "chunk_width", (8, 16, 32, 48, 64, 128),
+          lambda v: GPUICDParams(chunk_width=v))
+    joint_search(model)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""End-to-end scanner pipeline: fan-beam counts to MBIR image.
+
+The paper's dataset came off an Imatron C-300 — a fan-beam machine whose
+data is rebinned to parallel geometry before reconstruction (§5.1).  This
+example walks the full deployment path the library supports:
+
+    fan-beam acquisition  ->  rebinning to parallel  ->  photon-count
+    statistics + dead-channel handling  ->  GPU-ICD reconstruction
+
+Run:  python examples/scanner_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    GPUICDParams,
+    QGGMRFPrior,
+    baggage_phantom,
+    build_system_matrix,
+    fbp_reconstruct,
+    gpu_icd_reconstruct,
+    rmse_hu,
+    scaled_geometry,
+)
+from repro.ct.phantoms import MU_WATER
+from repro.ct import (
+    FanBeamGeometry,
+    ScanData,
+    fan_sinogram,
+    preprocess_counts,
+    rebin_to_parallel,
+)
+from repro.utils import resolve_rng
+
+
+def main(n_pixels: int = 48) -> None:
+    rng = resolve_rng(7)
+    parallel = scaled_geometry(n_pixels)
+    fan = FanBeamGeometry(
+        n_pixels=n_pixels,
+        n_views=2 * parallel.n_views,
+        n_channels=2 * parallel.n_channels,
+        source_radius=2.5 * n_pixels,
+    )
+    print(f"== scanner: fan-beam, {fan.n_views} source positions, "
+          f"{fan.n_channels} channels, fan angle {np.degrees(fan.fan_angle):.1f} deg ==")
+
+    obj = baggage_phantom(n_pixels, n_objects=6, seed=21)
+
+    # 1. Acquire: ideal fan line integrals -> Poisson photon counts.
+    dose = 1.5e3  # low dose: the regime where MBIR pays off
+    p_fan = fan_sinogram(obj, fan, oversample=2)
+    counts = rng.poisson(dose * np.exp(-p_fan)).astype(float)
+    dead = [fan.n_channels // 3, fan.n_channels // 3 + 1]
+    counts[:, dead] = 0.0
+    print(f"   dose {dose:.0e}, dead channels {dead}")
+
+    # 2. Counts -> log-domain fan sinogram + statistical weights
+    #    (dead channels zero-weighted).
+    fan_scan_like = preprocess_counts(
+        counts, dose,
+        # preprocess_counts validates against a geometry's sinogram shape;
+        # the fan sinogram has its own shape, so wrap it in a matching
+        # parallel description of the same array size.
+        type(parallel)(n_pixels=n_pixels, n_views=fan.n_views,
+                       n_channels=fan.n_channels),
+        handle_bad="interpolate",
+    )
+
+    # 3. Rebin both the measurements and the weights to parallel geometry.
+    y_par = rebin_to_parallel(fan_scan_like.sinogram, fan, parallel)
+    w_par = rebin_to_parallel(fan_scan_like.weights, fan, parallel)
+    w_par = np.clip(w_par, 0.0, None)
+    scan = ScanData(geometry=parallel, sinogram=y_par, weights=w_par)
+    print(f"   rebinned to {parallel.n_views} parallel views x "
+          f"{parallel.n_channels} channels; "
+          f"{np.mean(w_par < 0.05):.1%} of weights down-weighted (dead-channel shadow)")
+
+    # 4. Reconstruct.
+    system = build_system_matrix(parallel)
+    params = GPUICDParams(sv_side=8, threadblocks_per_sv=4, batch_size=8)
+    prior = QGGMRFPrior(sigma=16.0 * MU_WATER, q=1.2, T=0.15)  # edge-preserving
+    res = gpu_icd_reconstruct(scan, system, prior=prior, params=params,
+                              max_equits=10, seed=0, track_cost=False)
+    fbp = fbp_reconstruct(scan.sinogram, parallel)
+    print(f"\n   FBP  from rebinned data: {rmse_hu(fbp, obj):7.1f} HU vs truth")
+    print(f"   MBIR from full pipeline: {rmse_hu(res.image, obj):7.1f} HU vs truth")
+    print(f"   ({res.history.equits:.1f} equits, {res.trace.n_kernels} kernels)")
+
+
+if __name__ == "__main__":
+    main()

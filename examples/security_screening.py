@@ -1,0 +1,88 @@
+"""Security screening: sparse-view baggage reconstruction.
+
+The paper's benchmark data comes from a DHS explosive-detection program,
+and §7 stresses that ICD methods (unlike ordered-subset approaches) remain
+compatible with "the sparse view tomography methods that are crucial in
+many scientific and NDE applications".  This example reconstructs a
+synthetic baggage slice from a *sparse* set of views, where FBP streaks
+badly and MBIR shines, and reports zero-skipping statistics (baggage scenes
+are mostly air — the reason zero-skipping and dynamic voxel distribution
+matter).
+
+Run:  python examples/security_screening.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    GPUICDParams,
+    QGGMRFPrior,
+    baggage_phantom,
+    build_system_matrix,
+    fbp_reconstruct,
+    gpu_icd_reconstruct,
+    rmse_hu,
+    simulate_scan,
+)
+from repro.ct import ParallelBeamGeometry
+from repro.ct.phantoms import MU_WATER
+
+
+def main(n_pixels: int = 64, n_views: int = 24) -> None:
+    print(f"== sparse-view scan: {n_views} views of a {n_pixels}^2 baggage slice ==")
+    geom = ParallelBeamGeometry(
+        n_pixels=n_pixels, n_views=n_views, n_channels=2 * n_pixels
+    )
+    system = build_system_matrix(geom)
+    bag = baggage_phantom(n_pixels, n_objects=7, seed=11)
+    air_fraction = float(np.mean(bag == 0))
+    print(f"   scene air fraction: {air_fraction:.0%}")
+    scan = simulate_scan(bag, system, dose=5e4, seed=3)
+
+    fbp = fbp_reconstruct(scan.sinogram, geom)
+    print(f"\n   FBP   RMSE vs truth: {rmse_hu(fbp, bag):7.1f} HU "
+          f"(streak artifacts from {n_views} views)")
+
+    # Sparse views want a more edge-preserving prior (smaller T): the data
+    # is too thin to resolve edges, so the prior must not blur them.
+    prior = QGGMRFPrior(sigma=4.0 * MU_WATER, q=1.2, T=0.3)
+    params = GPUICDParams(sv_side=8, threadblocks_per_sv=4, batch_size=8)
+    res = gpu_icd_reconstruct(
+        scan, system, prior=prior, params=params, max_equits=15, seed=0,
+        track_cost=False,
+    )
+    print(f"   MBIR  RMSE vs truth: {rmse_hu(res.image, bag):7.1f} HU")
+
+    # Zero-skipping in action: rerun from an empty (air) initialisation —
+    # iteration 1 bootstraps, then air regions are skipped.
+    res_zero = gpu_icd_reconstruct(
+        scan, system, prior=prior, params=params, max_equits=6, seed=0,
+        track_cost=False, init="zero",
+    )
+    updates = sum(k.updates for k in res_zero.trace.kernels)
+    skipped = sum(s.skipped for k in res_zero.trace.kernels for s in k.sv_stats)
+    print("\n== zero-skipping (zero-initialised run) ==")
+    print(f"   voxel updates performed: {updates:,}")
+    print(f"   visits skipped (voxel + neighborhood all zero): {skipped:,} "
+          f"({skipped / max(updates + skipped, 1):.0%} of visits)")
+    print(f"   kernels launched: {res_zero.trace.n_kernels}, "
+          f"suppressed under-filled launches: {res_zero.trace.skipped_launches}")
+
+    # Detection-oriented check: dense objects must stand out more clearly
+    # in the MBIR image than in the streaky FBP one.
+    thresh = 2.0 * MU_WATER
+    truth_mask = bag > thresh
+    if truth_mask.any():
+        mbir_hit = float(np.mean(res.image[truth_mask] > thresh))
+        fbp_hit = float(np.mean(fbp[truth_mask] > thresh))
+        fbp_false = float(np.mean(fbp[~truth_mask] > thresh))
+        mbir_false = float(np.mean(res.image[~truth_mask] > thresh))
+        print("\n== dense-object recovery (voxels above 2x water) ==")
+        print(f"   FBP:  hit {fbp_hit:.0%}  false-alarm {fbp_false:.1%}")
+        print(f"   MBIR: hit {mbir_hit:.0%}  false-alarm {mbir_false:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""GPU-ICD: Model-based Iterative CT Image Reconstruction on GPUs.
+
+A full reproduction of Sabne et al., PPoPP 2017, built on a deterministic
+GPU performance-model substrate (see DESIGN.md for the substitution map).
+
+Subpackages
+-----------
+``repro.ct``
+    CT substrate: parallel-beam geometry, trapezoid-footprint system
+    matrix, phantoms, scanner noise model, and the FBP direct-method
+    baseline.
+``repro.core``
+    MBIR core: q-GGMRF/quadratic MRF priors, the Alg. 1 voxel update, and
+    the three drivers — sequential ICD, PSV-ICD (Alg. 2) and GPU-ICD
+    (Alg. 3) with SuperVoxels, checkerboarding and batching.
+``repro.gpusim``
+    The hardware substrate: Maxwell Titan X occupancy / coalescing / cache
+    / scheduling / atomics models, the end-to-end GPU timing model, and the
+    multicore Xeon model for the CPU baselines.
+``repro.layout``
+    §4.1's data-layout transformations: chunked view-major SVBs, uint8
+    A-matrix quantisation, and memory access trace generation.
+``repro.solvers``
+    §6's generalization: coordinate descent for arbitrary weighted least
+    squares with correlation-based grouping (the generalized checkerboard)
+    and the parallel Gauss-Seidel analogy.
+``repro.harness``
+    One experiment driver per table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import (scaled_geometry, build_system_matrix, shepp_logan,
+...                    simulate_scan, gpu_icd_reconstruct)
+>>> geom = scaled_geometry(64)
+>>> system = build_system_matrix(geom)
+>>> scan = simulate_scan(shepp_logan(64), system, seed=0)
+>>> result = gpu_icd_reconstruct(scan, system, max_equits=5, track_cost=False)
+>>> result.image.shape
+(64, 64)
+"""
+
+from repro.core import (
+    GPUICDParams,
+    GPUICDResult,
+    ICDResult,
+    Neighborhood,
+    PSVICDResult,
+    QGGMRFPrior,
+    QuadraticPrior,
+    RunHistory,
+    SuperVoxelGrid,
+    default_prior,
+    golden_reconstruction,
+    gpu_icd_reconstruct,
+    icd_reconstruct,
+    map_cost,
+    psv_icd_reconstruct,
+    rmse_hu,
+)
+from repro.ct import (
+    ParallelBeamGeometry,
+    ScanData,
+    SystemMatrix,
+    baggage_phantom,
+    build_system_matrix,
+    disk_phantom,
+    ellipse_ensemble,
+    fbp_reconstruct,
+    forward_project,
+    noiseless_scan,
+    paper_geometry,
+    scaled_geometry,
+    shepp_logan,
+    simulate_scan,
+)
+from repro.gpusim import (
+    TITAN_X,
+    CPUTimingModel,
+    GPUKernelConfig,
+    GPUTimingModel,
+    occupancy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # ct
+    "ParallelBeamGeometry",
+    "paper_geometry",
+    "scaled_geometry",
+    "SystemMatrix",
+    "build_system_matrix",
+    "ScanData",
+    "simulate_scan",
+    "noiseless_scan",
+    "forward_project",
+    "fbp_reconstruct",
+    "shepp_logan",
+    "baggage_phantom",
+    "ellipse_ensemble",
+    "disk_phantom",
+    # core
+    "QGGMRFPrior",
+    "QuadraticPrior",
+    "Neighborhood",
+    "default_prior",
+    "map_cost",
+    "rmse_hu",
+    "RunHistory",
+    "ICDResult",
+    "PSVICDResult",
+    "GPUICDResult",
+    "GPUICDParams",
+    "SuperVoxelGrid",
+    "icd_reconstruct",
+    "psv_icd_reconstruct",
+    "gpu_icd_reconstruct",
+    "golden_reconstruction",
+    # gpusim
+    "TITAN_X",
+    "occupancy",
+    "GPUKernelConfig",
+    "GPUTimingModel",
+    "CPUTimingModel",
+]

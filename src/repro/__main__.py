@@ -1,0 +1,7 @@
+"""``python -m repro`` — run the paper's experiments from the command line."""
+
+import sys
+
+from repro.harness.cli import main
+
+sys.exit(main())

@@ -1,0 +1,96 @@
+"""Convergence accounting: equits, RMSE in Hounsfield units, run histories.
+
+The paper measures convergence in *equits* — "an update of N voxels, where N
+is the total number of voxels in the image, is one equit" — and reports the
+time at which the root-mean-square error versus a fully converged "golden"
+image drops below 10 HU, the level at which no visible artifacts remain
+(§5.2).  These helpers implement exactly that accounting and are shared by
+all three drivers so their histories are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ct.phantoms import MU_WATER
+
+__all__ = ["rmse_hu", "RMSE_CONVERGED_HU", "IterationRecord", "RunHistory"]
+
+#: Convergence threshold from §5.2: below 10 HU RMSE versus the golden image
+#: "no visible artifacts remain".
+RMSE_CONVERGED_HU = 10.0
+
+
+def rmse_hu(image: np.ndarray, golden: np.ndarray) -> float:
+    """Root-mean-square difference between two images, in Hounsfield units.
+
+    Both images are in attenuation units; the HU scale is
+    ``1000 * delta_mu / mu_water``, so RMSE converts by the same factor.
+    """
+    a = np.asarray(image, dtype=np.float64)
+    b = np.asarray(golden, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    rmse_mu = float(np.sqrt(np.mean((a - b) ** 2)))
+    return 1000.0 * rmse_mu / MU_WATER
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """State snapshot after one outer iteration of a driver."""
+
+    iteration: int
+    equits: float  # cumulative actual voxel updates / n_voxels
+    cost: float  # MAP objective
+    rmse: float | None  # HU RMSE vs golden, if a golden image was provided
+    updates: int  # voxel updates performed this iteration
+    svs_updated: int  # SuperVoxels processed this iteration (0 for sequential)
+
+
+@dataclass
+class RunHistory:
+    """Full history of a reconstruction run.
+
+    ``records[i]`` describes outer iteration ``i + 1``.  ``converged_equits``
+    is filled by the driver when the RMSE threshold is first crossed.
+    """
+
+    records: list[IterationRecord] = field(default_factory=list)
+    converged_equits: float | None = None
+    converged_iteration: int | None = None
+
+    def append(self, record: IterationRecord) -> None:
+        """Record one outer iteration."""
+        self.records.append(record)
+
+    @property
+    def equits(self) -> float:
+        """Cumulative equits at the end of the run."""
+        return self.records[-1].equits if self.records else 0.0
+
+    @property
+    def costs(self) -> np.ndarray:
+        """Cost trajectory as an array."""
+        return np.array([r.cost for r in self.records])
+
+    @property
+    def rmses(self) -> np.ndarray:
+        """RMSE trajectory (NaN where unavailable)."""
+        return np.array([np.nan if r.rmse is None else r.rmse for r in self.records])
+
+    @property
+    def equit_trajectory(self) -> np.ndarray:
+        """Cumulative-equit values per iteration."""
+        return np.array([r.equits for r in self.records])
+
+    def mark_converged_if_below(self, threshold: float) -> None:
+        """Fill the convergence fields from the first record under ``threshold``."""
+        if self.converged_equits is not None:
+            return
+        for r in self.records:
+            if r.rmse is not None and r.rmse < threshold:
+                self.converged_equits = r.equits
+                self.converged_iteration = r.iteration
+                return

@@ -1,0 +1,253 @@
+"""GPU-ICD (Alg. 3) — the paper's contribution.
+
+The GPU algorithm restructures PSV-ICD around three levels of parallelism:
+
+* **intra-voxel** — the theta1/theta2 dot products over a voxel's footprint
+  are computed by the threads of one threadblock and tree-reduced in shared
+  memory (Alg. 3 lines 5-8);
+* **intra-SV** — several threadblocks work on one SV, pulling voxels from a
+  dynamically scheduled queue (``atomicFetch`` in line 4) so zero-skipping
+  cannot unbalance them;
+* **inter-SV** — SVs are partitioned into four checkerboard groups of
+  mutually non-adjacent SVs; up to ``batch_size`` SVs of one group launch as
+  a single kernel.
+
+Compared to PSV-ICD, error-sinogram updates are deferred: all SVBs of a
+batch are created by one kernel, the MBIR kernel updates voxels against the
+SVBs, and a third kernel atomically merges every SV's delta back — so SVs in
+a batch never see each other's updates, and (with ``threadblocks_per_sv``
+voxels in flight per SV) voxel updates inside an SV see slightly stale SVB
+state.  Both staleness effects are reproduced numerically here (see
+:mod:`repro.core.sv_engine`); the hardware-side consequences (occupancy,
+coalescing, atomics) are evaluated by :mod:`repro.gpusim` from the execution
+trace this driver records.
+
+Load-balance guards from §3.2: the selection fraction is raised to 25 %, and
+a kernel is only launched if at least ``batch_size / 4`` SVs remain in the
+group (``threshold``), avoiding under-filled launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
+from repro.core.cost import map_cost
+from repro.core.icd import ICDResult, default_prior, initial_image
+from repro.core.prior import Neighborhood, Prior
+from repro.core.selection import SVSelector
+from repro.core.supervoxel import SuperVoxelGrid
+from repro.core.sv_engine import SVUpdateStats, process_supervoxel
+from repro.core.voxel_update import SliceUpdater
+from repro.ct.sinogram import ScanData
+from repro.ct.system_matrix import SystemMatrix
+from repro.utils import check_positive, resolve_rng
+
+__all__ = [
+    "GPUICDParams",
+    "KernelTrace",
+    "GPUExecutionTrace",
+    "gpu_icd_reconstruct",
+    "GPUICDResult",
+]
+
+
+@dataclass(frozen=True)
+class GPUICDParams:
+    """Tuning parameters of GPU-ICD (Table 1's "other parameter values").
+
+    Defaults are the paper's tuned values for 512^2 slices; sweeps over each
+    of them reproduce Figs. 7a-7d.
+    """
+
+    sv_side: int = 33
+    threadblocks_per_sv: int = 40
+    threads_per_block: int = 256
+    batch_size: int = 32  # SVs per kernel launch
+    fraction: float = 0.25  # SV selection fraction (vs 0.20 on CPU)
+    chunk_width: int = 32  # data-layout chunk width (Fig. 6)
+    use_threshold: bool = True  # skip under-filled kernel launches
+    dynamic_scheduling: bool = True  # dynamic voxel distribution to threadblocks
+    overlap: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("sv_side", self.sv_side)
+        check_positive("threadblocks_per_sv", self.threadblocks_per_sv)
+        check_positive("threads_per_block", self.threads_per_block)
+        check_positive("batch_size", self.batch_size)
+        check_positive("chunk_width", self.chunk_width)
+
+    @property
+    def threshold(self) -> int:
+        """Minimum SVs to justify a kernel launch (§3.2: BATCH_SIZE / 4)."""
+        return max(1, self.batch_size // 4) if self.use_threshold else 1
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """One MBIR kernel launch: which SVs ran and what they did."""
+
+    iteration: int
+    group: int  # checkerboard group 0..3
+    sv_stats: tuple[SVUpdateStats, ...]
+
+    @property
+    def n_svs(self) -> int:
+        """SVs processed by this kernel."""
+        return len(self.sv_stats)
+
+    @property
+    def updates(self) -> int:
+        """Voxel updates performed by this kernel."""
+        return sum(s.updates for s in self.sv_stats)
+
+
+@dataclass
+class GPUExecutionTrace:
+    """Schedule-level record of a GPU-ICD run, consumed by the timing model."""
+
+    params: GPUICDParams
+    kernels: list[KernelTrace] = field(default_factory=list)
+    skipped_launches: int = 0  # launches suppressed by the batch threshold
+
+    @property
+    def total_updates(self) -> int:
+        """Total voxel updates across the run."""
+        return sum(k.updates for k in self.kernels)
+
+    @property
+    def n_kernels(self) -> int:
+        """Number of MBIR kernel launches."""
+        return len(self.kernels)
+
+
+@dataclass
+class GPUICDResult(ICDResult):
+    """ICD result plus the execution trace for performance modelling."""
+
+    trace: GPUExecutionTrace | None = None
+    grid: SuperVoxelGrid | None = None
+
+
+def gpu_icd_reconstruct(
+    scan: ScanData,
+    system: SystemMatrix,
+    *,
+    prior: Prior | None = None,
+    params: GPUICDParams | None = None,
+    max_equits: float = 20.0,
+    golden: np.ndarray | None = None,
+    stop_rmse: float | None = None,
+    init: str = "fbp",
+    zero_skip: bool = True,
+    positivity: bool = True,
+    seed: int | np.random.Generator | None = 0,
+    track_cost: bool = True,
+    grid: SuperVoxelGrid | None = None,
+) -> GPUICDResult:
+    """Reconstruct with the GPU-ICD algorithm (Alg. 3).
+
+    The intra-SV concurrency width equals ``params.threadblocks_per_sv``
+    (each threadblock has one voxel in flight at a time); inter-SV
+    concurrency equals the batch, whose SVBs all snapshot the error sinogram
+    at batch start.
+    """
+    params = params if params is not None else GPUICDParams()
+    prior = prior if prior is not None else default_prior()
+    geometry = system.geometry
+    neighborhood = Neighborhood(geometry.n_pixels)
+    updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
+    rng = resolve_rng(seed)
+
+    if grid is None:
+        grid = SuperVoxelGrid(system, params.sv_side, overlap=params.overlap)
+    selector = SVSelector(grid.n_svs, params.fraction)
+    checkerboard = grid.checkerboard_groups()
+
+    x = initial_image(scan, init=init).ravel().copy()
+    e = updater.initial_error(x)
+
+    history = RunHistory()
+    trace = GPUExecutionTrace(params=params)
+    n_voxels = geometry.n_voxels
+    total_updates = 0
+    iteration = 0
+    while total_updates < max_equits * n_voxels:
+        iteration += 1
+        selected = set(int(s) for s in selector.select(iteration, rng))
+        iter_updates = 0
+        iter_svs = 0
+        for group_id in range(4):
+            group_svs = [sv for sv in checkerboard[group_id] if sv in selected]
+            rng.shuffle(group_svs)
+            for start in range(0, len(group_svs), params.batch_size):
+                batch = group_svs[start : start + params.batch_size]
+                if start > 0 and len(batch) < params.threshold and iteration > 1:
+                    # Under-filled *trailing* launch suppressed (§3.2) — the
+                    # deferred SVs are picked up by a later selection.  The
+                    # first launch of a group always runs (a group smaller
+                    # than the threshold would otherwise starve forever),
+                    # and iteration 1 is exempt so every SV is touched once.
+                    trace.skipped_launches += 1
+                    break
+                # Kernel 1: create all SVBs of the batch from the current e.
+                svbs = []
+                originals = []
+                for sv_id in batch:
+                    svb = grid.svs[sv_id].extract(e)
+                    originals.append(svb.copy())
+                    svbs.append(svb)
+                # Kernel 2: the MBIR kernel — all SVs update concurrently,
+                # each with `threadblocks_per_sv` voxels in flight.
+                batch_stats = []
+                for sv_id, svb in zip(batch, svbs):
+                    sv = grid.svs[sv_id]
+                    stats = process_supervoxel(
+                        sv,
+                        updater,
+                        x,
+                        svb,
+                        rng=rng,
+                        zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
+                        stale_width=params.threadblocks_per_sv,
+                    )
+                    selector.record_update(sv.index, stats.total_abs_delta)
+                    batch_stats.append(stats)
+                    iter_updates += stats.updates
+                iter_svs += len(batch)
+                # Kernel 3: atomic error-sinogram merge for the whole batch.
+                for sv_id, svb, orig in zip(batch, svbs, originals):
+                    grid.svs[sv_id].accumulate_delta(svb, orig, e)
+                trace.kernels.append(
+                    KernelTrace(iteration=iteration, group=group_id, sv_stats=tuple(batch_stats))
+                )
+
+        total_updates += iter_updates
+        img = x.reshape(geometry.n_pixels, geometry.n_pixels)
+        cost = map_cost(img, scan, system, prior, neighborhood) if track_cost else float("nan")
+        rmse = rmse_hu(img, golden) if golden is not None else None
+        history.append(
+            IterationRecord(
+                iteration=iteration,
+                equits=total_updates / n_voxels,
+                cost=cost,
+                rmse=rmse,
+                updates=iter_updates,
+                svs_updated=iter_svs,
+            )
+        )
+        if iter_updates == 0 and iteration > 1:
+            break
+        if stop_rmse is not None and rmse is not None and rmse < stop_rmse:
+            break
+
+    history.mark_converged_if_below(stop_rmse if stop_rmse is not None else RMSE_CONVERGED_HU)
+    return GPUICDResult(
+        image=x.reshape(geometry.n_pixels, geometry.n_pixels),
+        history=history,
+        error_sinogram=e.reshape(geometry.sinogram_shape),
+        trace=trace,
+        grid=grid,
+    )

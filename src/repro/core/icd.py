@@ -1,0 +1,187 @@
+"""Sequential ICD — the "traditional" single-core MBIR reference.
+
+This is the publicly-released-MBIR-equivalent baseline the paper's Table 1
+speedups are measured against (611.79x for GPU-ICD).  One outer iteration
+visits every voxel once in a randomized order (§2.1: "Faster convergence is
+achieved by updating voxels in a randomized order and by zero-skipping"),
+updating each against the *global* error sinogram — no SuperVoxels, no
+buffers, no deferred write-back.
+
+It also produces the "golden" images used for RMSE-based convergence
+measurement: the paper runs traditional ICD for 40 equits, "by when it is
+known to converge".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
+from repro.core.cost import map_cost
+from repro.core.prior import Neighborhood, Prior, QGGMRFPrior
+from repro.core.voxel_update import SliceUpdater
+from repro.ct.fbp import fbp_reconstruct
+from repro.ct.phantoms import MU_WATER
+from repro.ct.sinogram import ScanData
+from repro.ct.system_matrix import SystemMatrix
+from repro.utils import resolve_rng
+
+__all__ = ["ICDResult", "icd_reconstruct", "golden_reconstruction", "default_prior", "initial_image"]
+
+
+def default_prior(scale: float = MU_WATER) -> QGGMRFPrior:
+    """The library-wide default prior: q-GGMRF with CT-scale parameters.
+
+    ``sigma`` is set relative to water attenuation.  The value (2x water)
+    is tuned on the scaled benchmark suite so that (a) the MAP estimate is
+    not visibly over-regularised and (b) the three drivers converge to the
+    10 HU golden threshold in a few equits, matching the regime of the
+    paper's Table 1 (4.8 equits PSV-ICD / 5.9 GPU-ICD).  Note the weights
+    in this library are normalised to unit mean (see
+    :func:`repro.ct.sinogram.simulate_scan`), which rescales the natural
+    sigma relative to formulations with raw photon-count weights.
+    """
+    return QGGMRFPrior(sigma=2.0 * scale, q=1.2, T=1.0)
+
+
+def initial_image(scan: ScanData, *, init: str = "fbp") -> np.ndarray:
+    """Starting image for iterative reconstruction.
+
+    ``"fbp"`` (default) follows standard MBIR practice — a filtered
+    backprojection warm start converges in far fewer equits; ``"zero"``
+    starts from an empty image (useful for zero-skipping stress tests).
+    """
+    if init == "fbp":
+        return fbp_reconstruct(scan.sinogram, scan.geometry)
+    if init == "zero":
+        n = scan.geometry.n_pixels
+        return np.zeros((n, n), dtype=np.float64)
+    raise ValueError(f"unknown init {init!r}; use 'fbp' or 'zero'")
+
+
+@dataclass
+class ICDResult:
+    """Output of a reconstruction driver."""
+
+    image: np.ndarray
+    history: RunHistory
+    error_sinogram: np.ndarray  # final e = y - Ax, shape (n_views, n_channels)
+
+
+def icd_reconstruct(
+    scan: ScanData,
+    system: SystemMatrix,
+    *,
+    prior: Prior | None = None,
+    max_equits: float = 20.0,
+    golden: np.ndarray | None = None,
+    stop_rmse: float | None = None,
+    init: str = "fbp",
+    zero_skip: bool = True,
+    positivity: bool = True,
+    seed: int | np.random.Generator | None = 0,
+    track_cost: bool = True,
+) -> ICDResult:
+    """Reconstruct by sequential ICD.
+
+    Parameters
+    ----------
+    scan, system:
+        Measurements and geometry model.
+    prior:
+        MRF prior; defaults to :func:`default_prior`.
+    max_equits:
+        Stop after this many equivalent iterations.
+    golden:
+        Converged reference image; enables RMSE tracking.
+    stop_rmse:
+        If set (HU), stop as soon as RMSE vs ``golden`` drops below it.
+    init:
+        Starting image ("fbp" or "zero").
+    zero_skip:
+        Skip voxels whose value and neighborhood are all zero.
+    positivity:
+        Clip voxel values at zero.
+    seed:
+        RNG for the randomized visit order.
+    track_cost:
+        Evaluate the MAP cost each outer iteration (costs one forward
+        projection; disable in benchmarks).
+    """
+    prior = prior if prior is not None else default_prior()
+    geometry = system.geometry
+    neighborhood = Neighborhood(geometry.n_pixels)
+    updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
+    rng = resolve_rng(seed)
+
+    x = initial_image(scan, init=init).ravel().copy()
+    e = updater.initial_error(x)
+    indices = updater.system.matrix.indices  # footprint = global sinogram rows
+
+    history = RunHistory()
+    n_voxels = geometry.n_voxels
+    total_updates = 0
+    iteration = 0
+    while total_updates < max_equits * n_voxels:
+        iteration += 1
+        order = rng.permutation(n_voxels)
+        updates = 0
+        # Zero-skipping is suspended on the first iteration so a zero
+        # (air) initialisation can bootstrap; afterwards a voxel whose
+        # whole neighborhood is zero can never change and is skipped.
+        skip_active = zero_skip and iteration > 1
+        for j in order:
+            if skip_active and updater.should_skip(j, x):
+                continue
+            sl = updater.column_slice(j)
+            updater.update_voxel(j, x, e, indices[sl])
+            updates += 1
+        total_updates += updates
+        img = x.reshape(geometry.n_pixels, geometry.n_pixels)
+        cost = (
+            map_cost(img, scan, system, prior, neighborhood) if track_cost else float("nan")
+        )
+        rmse = rmse_hu(img, golden) if golden is not None else None
+        history.append(
+            IterationRecord(
+                iteration=iteration,
+                equits=total_updates / n_voxels,
+                cost=cost,
+                rmse=rmse,
+                updates=updates,
+                svs_updated=0,
+            )
+        )
+        if updates == 0:
+            break  # fully zero image with zero data: nothing will change
+        if stop_rmse is not None and rmse is not None and rmse < stop_rmse:
+            break
+
+    history.mark_converged_if_below(stop_rmse if stop_rmse is not None else RMSE_CONVERGED_HU)
+    return ICDResult(
+        image=x.reshape(geometry.n_pixels, geometry.n_pixels),
+        history=history,
+        error_sinogram=e.reshape(geometry.sinogram_shape),
+    )
+
+
+def golden_reconstruction(
+    scan: ScanData,
+    system: SystemMatrix,
+    *,
+    prior: Prior | None = None,
+    equits: float = 40.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """The paper's golden image: traditional ICD run to ``equits`` (§5.2)."""
+    result = icd_reconstruct(
+        scan,
+        system,
+        prior=prior,
+        max_equits=equits,
+        seed=seed,
+        track_cost=False,
+    )
+    return result.image

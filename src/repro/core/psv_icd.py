@@ -1,0 +1,194 @@
+"""PSV-ICD (Alg. 2) — the state-of-the-art multi-core CPU baseline.
+
+Parallel SuperVoxel ICD from Wang et al., PPoPP'16, as described in §2.2:
+SuperVoxels are distributed across CPU cores; each core copies its SV's
+sinogram band into a private SVB, updates the SV's voxels sequentially
+against that buffer, and merges the accumulated delta back into the global
+error sinogram under a lock.
+
+Concurrency emulation
+---------------------
+The numerics here are real; the *schedule* of a racy 16-core execution is
+emulated deterministically as bulk-synchronous waves of ``n_cores`` SVs:
+every SV in a wave snapshots the error sinogram as it stood at the start of
+the wave (that is what concurrent cores observe), updates privately, and all
+deltas merge at the end of the wave.  Image-domain updates apply
+immediately, matching the fact that voxel arrays are not buffered in
+PSV-ICD.  This preserves the algorithmically relevant property — SVs
+processed concurrently do not see each other's error-sinogram updates — and
+makes runs reproducible, which a true racy execution is not.
+
+For wall-clock-parallel execution of the same semantics, see
+:mod:`repro.core.backends`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
+from repro.core.cost import map_cost
+from repro.core.icd import ICDResult, default_prior, initial_image
+from repro.core.prior import Neighborhood, Prior
+from repro.core.selection import SVSelector
+from repro.core.supervoxel import SuperVoxelGrid
+from repro.core.sv_engine import SVUpdateStats, process_supervoxel
+from repro.core.voxel_update import SliceUpdater
+from repro.ct.sinogram import ScanData
+from repro.ct.system_matrix import SystemMatrix
+from repro.utils import check_positive, resolve_rng
+
+__all__ = ["PSVWaveTrace", "PSVExecutionTrace", "psv_icd_reconstruct", "PSVICDResult"]
+
+#: Default SV side for the CPU driver — Table 1 uses 13 on 512^2 slices.
+DEFAULT_CPU_SV_SIDE = 13
+#: PSV-ICD selects 20% of SVs per iteration after the first (Alg. 2).
+DEFAULT_CPU_FRACTION = 0.20
+#: The paper's CPU platform has 16 cores (2x Xeon E5-2670).
+DEFAULT_N_CORES = 16
+
+
+@dataclass(frozen=True)
+class PSVWaveTrace:
+    """One wave of concurrently processed SVs (what each core did)."""
+
+    iteration: int
+    sv_stats: tuple[SVUpdateStats, ...]
+
+
+@dataclass
+class PSVExecutionTrace:
+    """Schedule-level record of a PSV-ICD run, consumed by the CPU timing model."""
+
+    n_cores: int
+    sv_side: int
+    waves: list[PSVWaveTrace] = field(default_factory=list)
+
+    @property
+    def total_updates(self) -> int:
+        """Total voxel updates across the run."""
+        return sum(s.updates for w in self.waves for s in w.sv_stats)
+
+
+@dataclass
+class PSVICDResult(ICDResult):
+    """ICD result plus the schedule trace for performance modelling."""
+
+    trace: PSVExecutionTrace | None = None
+    grid: SuperVoxelGrid | None = None
+
+
+def psv_icd_reconstruct(
+    scan: ScanData,
+    system: SystemMatrix,
+    *,
+    prior: Prior | None = None,
+    sv_side: int = DEFAULT_CPU_SV_SIDE,
+    overlap: int = 1,
+    n_cores: int = DEFAULT_N_CORES,
+    fraction: float = DEFAULT_CPU_FRACTION,
+    max_equits: float = 20.0,
+    golden: np.ndarray | None = None,
+    stop_rmse: float | None = None,
+    init: str = "fbp",
+    zero_skip: bool = True,
+    positivity: bool = True,
+    seed: int | np.random.Generator | None = 0,
+    track_cost: bool = True,
+    grid: SuperVoxelGrid | None = None,
+) -> PSVICDResult:
+    """Reconstruct with the PSV-ICD algorithm (Alg. 2).
+
+    Parameters mirror :func:`repro.core.icd.icd_reconstruct`, plus:
+
+    sv_side:
+        SuperVoxel side length in voxels.
+    overlap:
+        Boundary-voxel sharing between adjacent SVs.
+    n_cores:
+        Emulated core count = SVs processed per concurrent wave.
+    fraction:
+        SV selection fraction after the first iteration (paper: 20 %).
+    grid:
+        Optionally a prebuilt :class:`SuperVoxelGrid` (grids are geometry
+        -static, so sweeps over other parameters can share one).
+    """
+    check_positive("n_cores", n_cores)
+    prior = prior if prior is not None else default_prior()
+    geometry = system.geometry
+    neighborhood = Neighborhood(geometry.n_pixels)
+    updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
+    rng = resolve_rng(seed)
+
+    if grid is None:
+        grid = SuperVoxelGrid(system, sv_side, overlap=overlap)
+    selector = SVSelector(grid.n_svs, fraction)
+
+    x = initial_image(scan, init=init).ravel().copy()
+    e = updater.initial_error(x)
+
+    history = RunHistory()
+    trace = PSVExecutionTrace(n_cores=n_cores, sv_side=sv_side)
+    n_voxels = geometry.n_voxels
+    total_updates = 0
+    iteration = 0
+    while total_updates < max_equits * n_voxels:
+        iteration += 1
+        selected = selector.select(iteration, rng)
+        iter_updates = 0
+        for wave_start in range(0, selected.size, n_cores):
+            wave_svs = selected[wave_start : wave_start + n_cores]
+            # Each concurrent core snapshots the error sinogram as of the
+            # start of the wave.
+            svbs = []
+            originals = []
+            for sv_id in wave_svs:
+                sv = grid.svs[int(sv_id)]
+                svb = sv.extract(e)
+                originals.append(svb.copy())
+                svbs.append(svb)
+            wave_stats = []
+            for sv_id, svb in zip(wave_svs, svbs):
+                sv = grid.svs[int(sv_id)]
+                stats = process_supervoxel(
+                    sv, updater, x, svb, rng=rng,
+                    zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
+                    stale_width=1,
+                )
+                selector.record_update(sv.index, stats.total_abs_delta)
+                wave_stats.append(stats)
+                iter_updates += stats.updates
+            # Locked merge (Alg. 2 lines 16-19) at the end of the wave.
+            for sv_id, svb, orig in zip(wave_svs, svbs, originals):
+                grid.svs[int(sv_id)].accumulate_delta(svb, orig, e)
+            trace.waves.append(PSVWaveTrace(iteration=iteration, sv_stats=tuple(wave_stats)))
+
+        total_updates += iter_updates
+        img = x.reshape(geometry.n_pixels, geometry.n_pixels)
+        cost = map_cost(img, scan, system, prior, neighborhood) if track_cost else float("nan")
+        rmse = rmse_hu(img, golden) if golden is not None else None
+        history.append(
+            IterationRecord(
+                iteration=iteration,
+                equits=total_updates / n_voxels,
+                cost=cost,
+                rmse=rmse,
+                updates=iter_updates,
+                svs_updated=int(selected.size),
+            )
+        )
+        if iter_updates == 0 and iteration > 1:
+            break
+        if stop_rmse is not None and rmse is not None and rmse < stop_rmse:
+            break
+
+    history.mark_converged_if_below(stop_rmse if stop_rmse is not None else RMSE_CONVERGED_HU)
+    return PSVICDResult(
+        image=x.reshape(geometry.n_pixels, geometry.n_pixels),
+        history=history,
+        error_sinogram=e.reshape(geometry.sinogram_shape),
+        trace=trace,
+        grid=grid,
+    )

@@ -1,0 +1,199 @@
+"""Alg. 1 — the single-voxel ICD update, the foundation of every driver.
+
+The update for voxel ``j`` at current value ``v``:
+
+    theta1 = - sum_i  w_i * A_ij * e_i          (over the voxel's footprint)
+    theta2 =   sum_i  w_i * A_ij^2
+    btilde_k = b_k * rho'(v - x_k) / (2 (v - x_k))     for each neighbor k
+    u = v + (-theta1 + 2 sum_k btilde_k (x_k - v)) / (theta2 + 2 sum_k btilde_k)
+    e_i -= A_ij * (u - v)                        (error-sinogram maintenance)
+
+Two data-independent quantities are hoisted out of the iteration loop by
+:class:`SliceUpdater`:
+
+* ``theta2`` per voxel — it depends only on ``A`` and ``W``, never on ``x``;
+* the fused products ``wa = w_i * A_ij`` per stored entry — so theta1 is a
+  single gather plus dot product per update.
+
+The same updater serves the sequential driver (footprint indices into the
+global error sinogram) and the SuperVoxel drivers (footprint indices into a
+private SVB): the caller passes whichever index array matches the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prior import Neighborhood, Prior
+from repro.ct.sinogram import ScanData
+from repro.ct.system_matrix import SystemMatrix
+
+__all__ = ["compute_thetas", "solve_surrogate", "SliceUpdater"]
+
+
+def compute_thetas(
+    e_vals: np.ndarray, w_vals: np.ndarray, a_vals: np.ndarray
+) -> tuple[float, float]:
+    """Reference theta1/theta2 (steps 3-6 of Alg. 1), unfused.
+
+    The drivers use the fused path in :class:`SliceUpdater`; this function
+    exists as the directly-testable specification.
+    """
+    theta1 = -float(np.sum(w_vals * a_vals * e_vals))
+    theta2 = float(np.sum(w_vals * a_vals * a_vals))
+    return theta1, theta2
+
+
+def solve_surrogate(
+    v: float,
+    theta1: float,
+    theta2: float,
+    neighbor_values: np.ndarray,
+    neighbor_weights: np.ndarray,
+    prior: Prior,
+    *,
+    positivity: bool = True,
+) -> float:
+    """Minimise the local surrogate — the paper's "computationally inexpensive func"."""
+    btilde = neighbor_weights * prior.influence_ratio(v - neighbor_values)
+    denom = theta2 + 2.0 * float(np.sum(btilde))
+    if denom <= 0.0:
+        # A voxel with no measurements and no neighbors: leave unchanged.
+        return v
+    numer = -theta1 + 2.0 * float(np.sum(btilde * (neighbor_values - v)))
+    u = v + numer / denom
+    if positivity:
+        u = max(u, 0.0)
+    return u
+
+
+@dataclass
+class SliceUpdater:
+    """Precomputed per-slice state shared by all ICD drivers.
+
+    Parameters
+    ----------
+    system:
+        The system matrix (CSC; columns are voxels).
+    scan:
+        Measurement data (supplies the weights for the fused products).
+    prior, neighborhood:
+        Regularisation model.
+    positivity:
+        Clip updates at zero (standard for attenuation images).
+    """
+
+    system: SystemMatrix
+    scan: ScanData
+    prior: Prior
+    neighborhood: Neighborhood
+    positivity: bool = True
+
+    def __post_init__(self) -> None:
+        A = self.system.matrix
+        w_flat = self.scan.weights.ravel()
+        a = A.data.astype(np.float64)
+        w_at_rows = w_flat[A.indices]
+        #: fused w*A products, aligned with the CSC storage of ``A``.
+        self.wa = w_at_rows * a
+        #: per-voxel theta2 = sum w * A^2 (constant across the run).
+        if A.nnz == 0:
+            self.theta2 = np.zeros(A.shape[1], dtype=np.float64)
+        else:
+            # reduceat with an empty segment repeats the next value (and an
+            # out-of-bounds start raises); clamp starts and mask empties to 0.
+            starts = np.minimum(A.indptr[:-1], A.nnz - 1)
+            self.theta2 = np.add.reduceat(self.wa * a, starts) * (np.diff(A.indptr) > 0)
+        self.indptr = A.indptr
+        self.a_data = a
+
+    # ------------------------------------------------------------------
+    def column_slice(self, voxel: int) -> slice:
+        """CSC storage slice of ``voxel``'s column."""
+        return slice(self.indptr[voxel], self.indptr[voxel + 1])
+
+    def initial_error(self, image: np.ndarray) -> np.ndarray:
+        """Flat error sinogram ``e = y - Ax`` for a starting image."""
+        return (self.scan.sinogram - self.system.forward(image)).ravel()
+
+    def propose_update(
+        self,
+        voxel: int,
+        x_flat: np.ndarray,
+        buffer: np.ndarray,
+        footprint_idx: np.ndarray,
+    ) -> float:
+        """Compute the new value for ``voxel`` without applying it.
+
+        Reads the error ``buffer`` (global sinogram or SVB, addressed by
+        ``footprint_idx``) and the neighbors in ``x_flat``.  Separating the
+        compute from the apply is what lets the drivers emulate concurrent
+        voxel updates (several threadblocks reading the same SVB state
+        before any of them writes back).
+        """
+        sl = self.column_slice(voxel)
+        wa = self.wa[sl]
+        e_vals = buffer[footprint_idx]
+        theta1 = -float(wa @ e_vals)
+        theta2 = float(self.theta2[voxel])
+
+        v = float(x_flat[voxel])
+        nb_idx = self.neighborhood.indices[voxel]
+        valid = nb_idx >= 0
+        nb_vals = x_flat[nb_idx[valid]]
+        nb_wts = self.neighborhood.weights[valid]
+        return solve_surrogate(
+            v, theta1, theta2, nb_vals, nb_wts, self.prior, positivity=self.positivity
+        )
+
+    def apply_update(
+        self,
+        voxel: int,
+        new_value: float,
+        x_flat: np.ndarray,
+        buffer: np.ndarray,
+        footprint_idx: np.ndarray,
+    ) -> float:
+        """Commit a proposed value: update the image and the error buffer."""
+        delta = new_value - float(x_flat[voxel])
+        if delta != 0.0:
+            x_flat[voxel] = new_value
+            sl = self.column_slice(voxel)
+            buffer[footprint_idx] -= self.a_data[sl] * delta
+        return delta
+
+    def update_voxel(
+        self,
+        voxel: int,
+        x_flat: np.ndarray,
+        buffer: np.ndarray,
+        footprint_idx: np.ndarray,
+    ) -> float:
+        """Update one voxel in place (propose + apply); return the delta.
+
+        Parameters
+        ----------
+        voxel:
+            Flat voxel index.
+        x_flat:
+            Flattened image (mutated).
+        buffer:
+            Error buffer the footprint indices address: the flat global
+            error sinogram for the sequential driver, or a flat SVB for the
+            SuperVoxel drivers (mutated).
+        footprint_idx:
+            Indices of the voxel's footprint entries within ``buffer``, in
+            CSC column order.
+        """
+        u = self.propose_update(voxel, x_flat, buffer, footprint_idx)
+        return self.apply_update(voxel, u, x_flat, buffer, footprint_idx)
+
+    def should_skip(self, voxel: int, x_flat: np.ndarray) -> bool:
+        """Zero-skipping test (§2.1): voxel and all its neighbors are zero."""
+        if x_flat[voxel] != 0.0:
+            return False
+        nb_idx = self.neighborhood.indices[voxel]
+        valid = nb_idx >= 0
+        return not np.any(x_flat[nb_idx[valid]])

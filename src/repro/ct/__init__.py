@@ -1,0 +1,53 @@
+"""CT substrate: geometry, system matrix, phantoms, noise model, FBP baseline."""
+
+from repro.ct.fanbeam import FanBeamGeometry, fan_sinogram, rebin_to_parallel
+from repro.ct.fbp import fbp_reconstruct, ramp_filter
+from repro.ct.geometry import ParallelBeamGeometry, paper_geometry, scaled_geometry
+from repro.ct.phantoms import (
+    MU_WATER,
+    baggage_phantom,
+    disk_phantom,
+    ellipse_ensemble,
+    from_hounsfield,
+    shepp_logan,
+    to_hounsfield,
+)
+from repro.ct.preprocess import (
+    counts_from_scan,
+    detect_bad_channels,
+    interpolate_bad_channels,
+    preprocess_counts,
+)
+from repro.ct.projection import back_project, forward_project
+from repro.ct.sinogram import ScanData, noiseless_scan, simulate_scan
+from repro.ct.system_matrix import SystemMatrix, build_system_matrix, trapezoid_cdf
+
+__all__ = [
+    "ParallelBeamGeometry",
+    "paper_geometry",
+    "scaled_geometry",
+    "SystemMatrix",
+    "build_system_matrix",
+    "trapezoid_cdf",
+    "ScanData",
+    "noiseless_scan",
+    "simulate_scan",
+    "forward_project",
+    "back_project",
+    "fbp_reconstruct",
+    "ramp_filter",
+    "MU_WATER",
+    "to_hounsfield",
+    "from_hounsfield",
+    "disk_phantom",
+    "shepp_logan",
+    "baggage_phantom",
+    "ellipse_ensemble",
+    "FanBeamGeometry",
+    "fan_sinogram",
+    "rebin_to_parallel",
+    "counts_from_scan",
+    "detect_bad_channels",
+    "interpolate_bad_channels",
+    "preprocess_counts",
+]

@@ -1,0 +1,225 @@
+"""Sparse system matrix ``A`` for parallel-beam CT.
+
+``A`` encodes the scanner geometry (§2.1 of the paper): entry ``A[i, j]`` is
+the contribution of voxel ``j`` to sinogram measurement ``i`` — the average,
+over detector channel ``i``'s width, of the chord length that channel's rays
+cut through voxel ``j``.  For a square pixel viewed at angle ``theta`` the
+chord-length profile along the detector axis is a trapezoid (the convolution
+of boxes of widths ``h|cos(theta)|`` and ``h|sin(theta)|``), which we
+integrate analytically against each channel's box.
+
+The matrix is stored in CSC form: ICD needs fast access to *columns* of
+``A`` (one column per voxel — exactly the access pattern §6 of the paper
+highlights for general coordinate-descent solvers).  Row index ``i`` encodes
+``(view, channel)`` as ``view * n_channels + channel``, so a column's rows,
+which CSC keeps sorted, enumerate the voxel's sinusoidal trace through the
+sinogram in view-major order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ct.geometry import ParallelBeamGeometry
+
+__all__ = ["trapezoid_cdf", "build_system_matrix", "SystemMatrix"]
+
+
+def trapezoid_cdf(t: np.ndarray, w1: float, w2: float, h: float) -> np.ndarray:
+    """Cumulative integral of the pixel-footprint trapezoid.
+
+    The footprint ``L(t)`` of a square pixel of side ``h`` is supported on
+    ``|t| <= (w1+w2)/2``, has plateau half-width ``|w1-w2|/2``, peak height
+    ``h**2 / max(w1, w2)``, and total area ``h**2``.  This returns
+    ``F(t) = integral of L from -inf to t``, vectorised over ``t``.
+
+    Parameters
+    ----------
+    t:
+        Detector-axis offsets from the pixel-centre projection.
+    w1, w2:
+        Footprint box widths ``h|cos(theta)|`` and ``h|sin(theta)|``.
+    h:
+        Pixel side length.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    wmax = max(w1, w2)
+    wmin = min(w1, w2)
+    if wmax <= 0.0:
+        raise ValueError("degenerate footprint: both widths are zero")
+    peak = h * h / wmax
+    m = 0.5 * (wmax - wmin)  # plateau half-width
+    big = 0.5 * (wmax + wmin)  # support half-width
+    u = np.abs(t)
+
+    # One-sided integral G(u) = integral of L over [0, u], u >= 0.
+    plateau_part = peak * np.minimum(u, m)
+    if wmin <= 1e-12 * wmax:
+        wmin = 0.0  # numerically a pure box; avoid dividing by a subnormal
+    if wmin > 0.0:
+        # Ramp runs from m to big with value peak * (big - s) / wmin.
+        s = np.clip(u, m, big)
+        ramp_part = (peak / (2.0 * wmin)) * (wmin * wmin - (big - s) ** 2)
+    else:
+        ramp_part = np.zeros_like(u)
+    g = plateau_part + ramp_part
+    return 0.5 * h * h + np.sign(t) * g
+
+
+def build_system_matrix(
+    geometry: ParallelBeamGeometry,
+    *,
+    tol: float = 1e-9,
+    dtype: np.dtype | type = np.float32,
+) -> "SystemMatrix":
+    """Build the sparse system matrix for ``geometry``.
+
+    Iterates over views (vectorised over all pixels and footprint channel
+    offsets within each view) and assembles a CSC matrix of shape
+    ``(n_views * n_channels, n_voxels)``.
+
+    Parameters
+    ----------
+    geometry:
+        Scan description.
+    tol:
+        Entries with absolute value below ``tol`` are dropped.
+    dtype:
+        Storage dtype of the values (``float32`` halves memory with no
+        observable effect on reconstruction quality at CT dynamic range).
+    """
+    n = geometry.n_pixels
+    n_chan = geometry.n_channels
+    spacing = geometry.channel_spacing
+    h = geometry.pixel_size
+    x, y = geometry.pixel_centers()
+    x = x.ravel()
+    y = y.ravel()
+    voxel_ids = np.arange(geometry.n_voxels, dtype=np.int64)
+
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+
+    for view in range(geometry.n_views):
+        theta = geometry.angles[view]
+        w1 = abs(h * np.cos(theta))
+        w2 = abs(h * np.sin(theta))
+        t = x * np.cos(theta) + y * np.sin(theta)
+        half_span = 0.5 * (w1 + w2)
+        c_first = geometry.channel_of(t - half_span)
+        span_channels = int(np.ceil((w1 + w2) / spacing)) + 1
+        for k in range(span_channels):
+            c = c_first + k
+            valid = (c >= 0) & (c < n_chan)
+            if not np.any(valid):
+                continue
+            lo = geometry.channel_lo_edge(c)
+            hi = lo + spacing
+            val = (trapezoid_cdf(hi - t, w1, w2, h) - trapezoid_cdf(lo - t, w1, w2, h)) / spacing
+            keep = valid & (val > tol)
+            if not np.any(keep):
+                continue
+            rows_parts.append(view * n_chan + c[keep])
+            cols_parts.append(voxel_ids[keep])
+            vals_parts.append(val[keep])
+
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    vals = np.concatenate(vals_parts).astype(dtype)
+    shape = (geometry.n_views * n_chan, geometry.n_voxels)
+    coo = sp.coo_matrix((vals, (rows, cols)), shape=shape)
+    csc = coo.tocsc()
+    csc.sort_indices()
+    return SystemMatrix(geometry=geometry, matrix=csc)
+
+
+@dataclass
+class SystemMatrix:
+    """CSC system matrix plus geometry-aware accessors.
+
+    Attributes
+    ----------
+    geometry:
+        The scan geometry the matrix was built from.
+    matrix:
+        ``scipy.sparse.csc_matrix`` of shape
+        ``(n_views * n_channels, n_voxels)`` with rows sorted within each
+        column (view-major, then channel).
+    """
+
+    geometry: ParallelBeamGeometry
+    matrix: sp.csc_matrix
+
+    # ------------------------------------------------------------------
+    # Projection operators
+    # ------------------------------------------------------------------
+    def forward(self, image: np.ndarray) -> np.ndarray:
+        """Forward-project ``image`` (``(n, n)`` or flat) to a sinogram."""
+        flat = np.asarray(image, dtype=np.float64).ravel()
+        if flat.size != self.geometry.n_voxels:
+            raise ValueError(
+                f"image has {flat.size} voxels, geometry expects {self.geometry.n_voxels}"
+            )
+        sino = self.matrix @ flat
+        return sino.reshape(self.geometry.sinogram_shape)
+
+    def back(self, sinogram: np.ndarray) -> np.ndarray:
+        """Apply the adjoint ``A^T`` to a sinogram, returning an image."""
+        flat = np.asarray(sinogram, dtype=np.float64).ravel()
+        expected = self.geometry.n_views * self.geometry.n_channels
+        if flat.size != expected:
+            raise ValueError(f"sinogram has {flat.size} entries, geometry expects {expected}")
+        img = self.matrix.T @ flat
+        return img.reshape((self.geometry.n_pixels, self.geometry.n_pixels))
+
+    # ------------------------------------------------------------------
+    # Column (per-voxel) access — the ICD workhorse
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Total number of stored entries."""
+        return self.matrix.nnz
+
+    def column(self, voxel: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rows and values of voxel ``voxel``'s column (views of CSC storage)."""
+        lo = self.matrix.indptr[voxel]
+        hi = self.matrix.indptr[voxel + 1]
+        return self.matrix.indices[lo:hi], self.matrix.data[lo:hi]
+
+    def column_views(self, voxel: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decompose a column into ``(views, channels, values)`` arrays."""
+        rows, vals = self.column(voxel)
+        n_chan = self.geometry.n_channels
+        return rows // n_chan, rows % n_chan, vals
+
+    def column_nnz(self) -> np.ndarray:
+        """Per-voxel stored-entry counts, shape ``(n_voxels,)``."""
+        return np.diff(self.matrix.indptr)
+
+    def per_view_ranges(self, voxel: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-view contiguous channel ranges of a voxel's footprint.
+
+        Returns
+        -------
+        starts, counts:
+            ``int64`` arrays of length ``n_views``.  ``starts[v]`` is the
+            first channel the voxel touches at view ``v`` and ``counts[v]``
+            how many consecutive channels it touches (0 if clipped off the
+            detector at that view).
+        """
+        views, chans, _ = self.column_views(voxel)
+        n_views = self.geometry.n_views
+        starts = np.zeros(n_views, dtype=np.int64)
+        counts = np.zeros(n_views, dtype=np.int64)
+        if views.size:
+            # Rows are sorted view-major, channels ascending within a view.
+            first_idx = np.searchsorted(views, np.arange(n_views), side="left")
+            last_idx = np.searchsorted(views, np.arange(n_views), side="right")
+            counts = (last_idx - first_idx).astype(np.int64)
+            present = counts > 0
+            starts[present] = chans[first_idx[present]]
+        return starts, counts

@@ -1,0 +1,62 @@
+"""GPU performance-model substrate (Maxwell Titan X) and CPU baselines."""
+
+from repro.gpusim.atomics import atomic_writeback_time, expected_conflict_degree
+from repro.gpusim.cache import SetAssociativeCache, hit_rate_for_trace
+from repro.gpusim.calibration import (
+    DEFAULT_CPU_CALIBRATION,
+    DEFAULT_GPU_CALIBRATION,
+    CPUCalibration,
+    GPUCalibration,
+)
+from repro.gpusim.cpu_model import CPUTimingModel
+from repro.gpusim.device import TITAN_X, XEON_E5_2670_X2, CPUSpec, GPUDeviceSpec
+from repro.gpusim.kernel import GPUKernelConfig, KernelCost
+from repro.gpusim.memory import (
+    TrafficVector,
+    achieved_bandwidth,
+    latency_hiding_factor,
+    memory_time,
+)
+from repro.gpusim.occupancy import OccupancyResult, occupancy
+from repro.gpusim.scheduler import (
+    ScheduleResult,
+    imbalance_factor,
+    simulate_dynamic,
+    simulate_static,
+)
+from repro.gpusim.timing import GPUTimingModel, SVBStats, analytic_svb_stats
+from repro.gpusim.warp import coalescing_efficiency, transactions_for_warp, warp_traffic
+
+__all__ = [
+    "GPUDeviceSpec",
+    "CPUSpec",
+    "TITAN_X",
+    "XEON_E5_2670_X2",
+    "OccupancyResult",
+    "occupancy",
+    "transactions_for_warp",
+    "warp_traffic",
+    "coalescing_efficiency",
+    "SetAssociativeCache",
+    "hit_rate_for_trace",
+    "ScheduleResult",
+    "simulate_dynamic",
+    "simulate_static",
+    "imbalance_factor",
+    "expected_conflict_degree",
+    "atomic_writeback_time",
+    "TrafficVector",
+    "latency_hiding_factor",
+    "achieved_bandwidth",
+    "memory_time",
+    "GPUKernelConfig",
+    "KernelCost",
+    "GPUCalibration",
+    "CPUCalibration",
+    "DEFAULT_GPU_CALIBRATION",
+    "DEFAULT_CPU_CALIBRATION",
+    "GPUTimingModel",
+    "CPUTimingModel",
+    "SVBStats",
+    "analytic_svb_stats",
+]

@@ -1,0 +1,64 @@
+"""Atomic-operation cost model for the error-sinogram write-back.
+
+GPU-ICD merges SV deltas into the global error sinogram with CUDA atomic
+adds (Alg. 3 line 30; §3.2 notes these "cannot be performed as double").
+Independent atomics stream at near-memory throughput, but atomics to the
+*same* address serialize at roughly an L2 round-trip each.  With small
+SuperVoxels the sinogram bands of the (up to) ``batch_size`` concurrently
+merged SVs overlap heavily, so contention grows as SV side shrinks — one of
+the two effects producing the left wall of Fig. 7a's U-shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import GPUDeviceSpec
+
+__all__ = ["expected_conflict_degree", "atomic_writeback_time"]
+
+
+def expected_conflict_degree(
+    band_cells_per_sv: float,
+    n_concurrent_svs: int,
+    sinogram_cells: int,
+) -> float:
+    """Expected number of concurrent writers per written sinogram cell.
+
+    Approximates the batch's bands as independently placed over the
+    sinogram: with ``k`` SVs each covering ``c`` cells of an ``S``-cell
+    sinogram, a covered cell is written by ``1 + (k - 1) * c / S`` writers
+    in expectation.  (Bands of checkerboard-separated SVs are not literally
+    independent, but the paper's trend — relative overlap grows as SVs
+    shrink, because footprint padding is a fixed overhead per band row —
+    only needs the first-order behaviour.)
+    """
+    if band_cells_per_sv < 0 or n_concurrent_svs < 0 or sinogram_cells <= 0:
+        raise ValueError("band/SV/sinogram sizes must be non-negative (sinogram positive)")
+    if n_concurrent_svs == 0:
+        return 0.0
+    return 1.0 + (n_concurrent_svs - 1) * band_cells_per_sv / sinogram_cells
+
+
+def atomic_writeback_time(
+    n_atomic_ops: float,
+    conflict_degree: float,
+    device: GPUDeviceSpec,
+) -> float:
+    """Seconds spent in the atomic merge of one batch.
+
+    ``n_atomic_ops`` conflict-free atomics stream at
+    ``device.atomic_throughput_ops``; each *extra* expected writer per cell
+    serializes at ``device.atomic_conflict_latency_s``, amortised over the
+    concurrent atomic pipelines (one per SMM).
+    """
+    if n_atomic_ops < 0:
+        raise ValueError("n_atomic_ops must be >= 0")
+    if conflict_degree < 0:
+        raise ValueError("conflict_degree must be >= 0")
+    base = n_atomic_ops / device.atomic_throughput_ops
+    extra_serial = max(conflict_degree - 1.0, 0.0)
+    contention = (
+        n_atomic_ops * extra_serial * device.atomic_conflict_latency_s / device.n_smm
+    )
+    return base + contention

@@ -1,0 +1,107 @@
+"""Set-associative LRU cache model.
+
+Used for trace-driven estimates of the unified L1/texture hit rate (Table 2
+reports 41.78 % for float A-matrix data vs 60.36 % after quantising to
+``unsigned char``) and for validating the analytic L2 working-set model the
+timing code uses.  The simulator is deliberately simple — physical caches
+have hashed set functions and sectored lines — but capacity/associativity
+behaviour, which is all the MBIR analysis relies on, is faithful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive
+
+__all__ = ["SetAssociativeCache", "hit_rate_for_trace"]
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over byte addresses.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    line_bytes:
+        Line (block) size; addresses are cached at line granularity.
+    ways:
+        Associativity.  ``size_bytes`` must be divisible by
+        ``line_bytes * ways``.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 32, ways: int = 8) -> None:
+        check_positive("size_bytes", size_bytes)
+        check_positive("line_bytes", line_bytes)
+        check_positive("ways", ways)
+        n_lines = size_bytes // line_bytes
+        if n_lines * line_bytes != size_bytes:
+            raise ValueError("size_bytes must be a multiple of line_bytes")
+        self.n_sets = n_lines // ways
+        if self.n_sets == 0 or self.n_sets * ways != n_lines:
+            raise ValueError("size_bytes must be a multiple of line_bytes * ways")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        # tags[set, way]; -1 = invalid.  lru[set, way] = age counter (higher
+        # = more recently used).
+        self._tags = np.full((self.n_sets, ways), -1, dtype=np.int64)
+        self._lru = np.zeros((self.n_sets, ways), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (contents are kept)."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses since the last stats reset."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction since the last stats reset (0 if no accesses)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def access(self, byte_address: int) -> bool:
+        """Access one address; returns True on hit.  Misses fill via LRU."""
+        line = byte_address // self.line_bytes
+        s = line % self.n_sets
+        tag = line // self.n_sets
+        self._clock += 1
+        tags = self._tags[s]
+        hit_ways = np.nonzero(tags == tag)[0]
+        if hit_ways.size:
+            self._lru[s, hit_ways[0]] = self._clock
+            self.hits += 1
+            return True
+        self.misses += 1
+        victim = int(np.argmin(self._lru[s]))
+        self._tags[s, victim] = tag
+        self._lru[s, victim] = self._clock
+        return False
+
+    def access_trace(self, byte_addresses: np.ndarray) -> float:
+        """Access a whole trace; returns the hit rate over this trace."""
+        hits_before = self.hits
+        misses_before = self.misses
+        for addr in np.asarray(byte_addresses, dtype=np.int64):
+            self.access(int(addr))
+        new = (self.hits - hits_before) + (self.misses - misses_before)
+        return (self.hits - hits_before) / new if new else 0.0
+
+
+def hit_rate_for_trace(
+    byte_addresses: np.ndarray,
+    *,
+    size_bytes: int,
+    line_bytes: int = 32,
+    ways: int = 8,
+) -> float:
+    """One-shot cold-start hit rate of a trace on a fresh cache."""
+    cache = SetAssociativeCache(size_bytes, line_bytes=line_bytes, ways=ways)
+    return cache.access_trace(np.asarray(byte_addresses))

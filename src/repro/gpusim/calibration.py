@@ -1,0 +1,148 @@
+"""Calibration constants of the first-order performance model.
+
+The model's *structure* (occupancy, coalescing, working sets, scheduling,
+contention) produces the paper's trends; the constants below anchor its
+absolute scale to numbers the paper publishes.  Each constant records the
+published observation it is anchored to.  None of them vary across the
+parameter sweeps — the sweep shapes (Figs. 6, 7a-d; Tables 2-3) come from
+the model mechanics, not from per-point fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GPUCalibration",
+    "CPUCalibration",
+    "DEFAULT_GPU_CALIBRATION",
+    "DEFAULT_CPU_CALIBRATION",
+]
+
+
+@dataclass(frozen=True)
+class GPUCalibration:
+    """Constants of the GPU kernel-time model."""
+
+    #: Fraction of maximum resident warps needed to saturate the memory
+    #: system.  Anchors two Table 3 rows at once: disabling intra-SV
+    #: parallelism leaves ~256 resident warps (6.251x slowdown), while the
+    #: 44-register build still retains ~960 (only 1.124x).
+    warp_saturation_fraction: float = 0.70
+
+    #: Achieved fraction of L2 peak bandwidth for 8-byte vs 4-byte loads
+    #: (anchor: §5.3 — 472 GB/s with the double trick vs 395 GB/s without,
+    #: against a ~950 GB/s peak).
+    l2_efficiency_double: float = 0.50
+    l2_efficiency_float: float = 0.42
+
+    #: Texture-cache hit rate for 1-byte A-matrix entries and its slope per
+    #: extra byte of entry width (anchors: Table 2 — 60.36 % for char,
+    #: 41.78 % for float).
+    tex_hit_rate_1byte: float = 0.6036
+    tex_hit_rate_slope_per_byte: float = (0.6036 - 0.4178) / 3.0
+
+    #: Fraction of texture-missed (or untextured) A-matrix traffic that
+    #: still hits in L2 before reaching DRAM (spatial reuse between
+    #: consecutive voxels' padded chunks).
+    a_l2_hit_rate: float = 0.55
+
+    #: SVB working-set margin: SVBs beyond the actively-read set that
+    #: occupy L2 (the next batch being created, write-back in flight).
+    svb_working_margin: float = 2.0
+
+    #: Fraction of L2 capacity available to SVBs (the streamed A-matrix and
+    #: error-sinogram traffic pollute the rest).
+    l2_svb_capacity_fraction: float = 0.50
+
+    #: Each missed SVB read expands effective L2 service work by this
+    #: factor (miss handling + refill re-occupies the L2 pipelines).  This
+    #: is the mechanism behind Fig. 7b: many threadblocks per SV shrink the
+    #: concurrent SVB set and avoid the expansion (§3.2's "L2 temporal
+    #: locality").
+    l2_miss_expansion: float = 1.0
+
+    #: Scale on the expected intra-SV atomic conflict degree (concurrent
+    #: voxels of one SV overlap in band cells, but their write-backs spread
+    #: over the voxel-update duration, so only a fraction collide).
+    atomic_conflict_scale: float = 0.2
+
+    #: Weight of A-matrix traffic in the L2 ledger (the streamed A-matrix
+    #: bypasses most of the L2 pipeline via the texture path datapath;
+    #: anchor: Table 2's modest 1.17x total spread across A-path configs).
+    a_traffic_weight: float = 0.35
+
+    #: Fraction of the voxel-loop imbalance that reaches the kernel time
+    #: (bandwidth slack absorbs the rest; anchor: Table 3's 1.064x for
+    #: static voxel distribution).
+    imbalance_weight: float = 0.25
+
+    #: Flops per (padded) footprint element in the theta pass: two FMAs for
+    #: theta1/theta2, dequantisation, and index arithmetic.
+    flops_per_element: float = 8.0
+
+    #: Shared-memory bytes moved per footprint element (partial-sum staging
+    #: and spilled thread-locals; anchor: §5.3's 456 GB/s achieved shared
+    #: bandwidth, comparable to the 472 GB/s L2).
+    shared_bytes_per_element: float = 4.0
+
+    #: Cycles per tree-reduction step (shared-memory latency and
+    #: __syncthreads amortisation).
+    reduction_cycles_per_step: float = 24.0
+
+    #: Per-voxel fixed overhead cycles (queue atomicFetch, chunk metadata,
+    #: neighbor gathers, the scalar update on thread 0).
+    per_voxel_overhead_cycles: float = 2000.0
+
+    #: Relative cost of a zero-skipped voxel (the skip test still reads the
+    #: neighborhood).
+    skipped_voxel_cost: float = 0.05
+
+    #: Bytes moved per SVB cell by the create kernel (read e + write SVB)
+    #: and by the merge kernel (read both SVBs + atomic read-modify-write).
+    svb_create_bytes_per_cell: float = 8.0
+    svb_merge_bytes_per_cell: float = 16.0
+
+    #: Global scale factor absorbing residual constant-factor model error
+    #: (anchor: GPU-ICD time/equit = 0.07 s on the 512^2 suite, Table 1).
+    time_scale: float = 0.93
+
+
+@dataclass(frozen=True)
+class CPUCalibration:
+    """Constants of the CPU timing model (PSV-ICD and sequential ICD)."""
+
+    #: Effective cycles per footprint element for PSV-ICD's SVB-resident,
+    #: prefetch-friendly, vectorised inner loop (anchor: 0.41 s/equit on
+    #: 512^2 slices, Table 1).
+    psv_cycles_per_element: float = 28.5
+
+    #: Effective cycles per footprint element for sequential ICD's
+    #: sinusoidal cache-thrashing walk: each short run lands on a fresh
+    #: 64-byte line whose fetch latency is only partially overlapped
+    #: (anchor: Table 1's 138.26x PSV-ICD speedup over sequential ICD).
+    seq_cycles_per_element: float = 128.0
+
+    #: Penalty growth once the SVB working set (error + weight buffers and
+    #: the delta copy) overflows a core's private L2 (drives the CPU side
+    #: of the SV-side trade-off; PSV-ICD's optimum is side 13, Table 1).
+    l2_overflow_penalty: float = 1.0  # extra cycles fraction per x of overflow
+
+    #: Per-SV fixed cost on one core: SVB creation, delta computation,
+    #: locked merge (seconds).
+    per_sv_overhead_s: float = 120e-6
+
+    #: Per-voxel fixed overhead cycles (loop control, prior update).
+    per_voxel_overhead_cycles: float = 800.0
+
+    #: Load-imbalance factor of the SV-level parallel loop (16 cores over
+    #: tens of SVs per wave; anchor: the high run-to-run std-dev of
+    #: PSV-ICD in Table 1 reflects scheduling noise, mean effect ~5 %).
+    imbalance_factor: float = 1.05
+
+    #: Global scale factor (anchor: PSV-ICD time/equit = 0.41 s, Table 1).
+    time_scale: float = 1.0
+
+
+DEFAULT_GPU_CALIBRATION = GPUCalibration()
+DEFAULT_CPU_CALIBRATION = CPUCalibration()

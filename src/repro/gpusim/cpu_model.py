@@ -1,0 +1,127 @@
+"""CPU timing model: PSV-ICD on 16 cores and single-core sequential ICD.
+
+The comparison side of Table 1.  PSV-ICD's per-element cost reflects an SVB
+that is linear, prefetchable and resident in the core's private L2 (§2.2);
+sequential ICD pays a fresh cache line per short sinusoidal run.  Both are
+throughput models anchored to the paper's published per-equit times; the
+*structural* effects — SV side vs the 256 KB L2, per-SV overheads, core
+count, lock serialisation — shape how the cost moves under parameter
+changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.psv_icd import PSVExecutionTrace
+from repro.ct.geometry import ParallelBeamGeometry
+from repro.gpusim.calibration import DEFAULT_CPU_CALIBRATION, CPUCalibration
+from repro.gpusim.device import XEON_E5_2670_X2, CPUSpec
+from repro.gpusim.timing import analytic_svb_stats
+from repro.layout.chunks import view_run_lengths
+from repro.utils import check_positive
+
+__all__ = ["CPUTimingModel"]
+
+
+class CPUTimingModel:
+    """Performance model of the CPU baselines on a given geometry."""
+
+    def __init__(
+        self,
+        geometry: ParallelBeamGeometry,
+        *,
+        cpu: CPUSpec = XEON_E5_2670_X2,
+        calibration: CPUCalibration = DEFAULT_CPU_CALIBRATION,
+    ) -> None:
+        self.geometry = geometry
+        self.cpu = cpu
+        self.cal = calibration
+        self._raw_elements = float(view_run_lengths(geometry).sum())
+
+    # ------------------------------------------------------------------
+    def _svb_working_bytes(self, sv_side: int) -> float:
+        """Per-core SVB working set: error + weight buffers + the delta copy."""
+        svb = analytic_svb_stats(self.geometry, sv_side)
+        return 3.0 * svb.rect_bytes(4)
+
+    def psv_cycles_per_update(self, sv_side: int) -> float:
+        """Cycles one voxel update costs inside PSV-ICD's inner loop.
+
+        When the SVB working set overflows the private L2, the linear-
+        access advantage fades and per-element cost grows proportionally to
+        the overflow (the right wall of the CPU SV-side trade-off).
+        """
+        overflow = max(self._svb_working_bytes(sv_side) / self.cpu.l2_bytes - 1.0, 0.0)
+        per_element = self.cal.psv_cycles_per_element * (
+            1.0 + self.cal.l2_overflow_penalty * overflow
+        )
+        return self._raw_elements * per_element + self.cal.per_voxel_overhead_cycles
+
+    def psv_equit_time(
+        self,
+        sv_side: int,
+        *,
+        n_cores: int | None = None,
+        zero_skip_fraction: float = 0.0,
+    ) -> float:
+        """Modeled seconds per equit of PSV-ICD (anchor: 0.41 s, Table 1)."""
+        check_positive("sv_side", sv_side)
+        cores = n_cores if n_cores is not None else self.cpu.n_cores
+        check_positive("n_cores", cores)
+        n_voxels = self.geometry.n_voxels
+        update_cycles = n_voxels * self.psv_cycles_per_update(sv_side)
+        visit_cycles = (
+            n_voxels * zero_skip_fraction / max(1.0 - zero_skip_fraction, 1e-9)
+        ) * self.cal.per_voxel_overhead_cycles
+        # Per-SV fixed costs: SVB create, delta, locked merge.
+        n_svs_per_equit = n_voxels / sv_side**2
+        sv_overhead = n_svs_per_equit * self.cal.per_sv_overhead_s
+        lock_serial = n_svs_per_equit * self.cpu.lock_overhead_s  # serialised
+        parallel = ((update_cycles + visit_cycles) / self.cpu.clock_hz + sv_overhead) / cores
+        return (parallel * self.cal.imbalance_factor + lock_serial) * self.cal.time_scale
+
+    def sequential_equit_time(self) -> float:
+        """Modeled seconds per equit of the traditional single-core ICD."""
+        cycles = self._raw_elements * self.cal.seq_cycles_per_element + (
+            self.cal.per_voxel_overhead_cycles
+        )
+        return self.geometry.n_voxels * cycles / self.cpu.clock_hz * self.cal.time_scale
+
+    def run_time_from_trace(self, trace: PSVExecutionTrace) -> float:
+        """Modeled wall time of a real (scaled) PSV-ICD run.
+
+        Each recorded wave ran its SVs concurrently on the cores; the wave
+        time is the makespan of its per-SV costs.
+        """
+        per_update = self.psv_cycles_per_update(trace.sv_side) / self.cpu.clock_hz
+        total = 0.0
+        for wave in trace.waves:
+            sv_times = np.array(
+                [
+                    s.updates * per_update
+                    + s.skipped * self.cal.per_voxel_overhead_cycles / self.cpu.clock_hz
+                    + self.cal.per_sv_overhead_s
+                    for s in wave.sv_stats
+                ]
+            )
+            # SVs of one wave run concurrently (one per core); the merge
+            # lock serialises the final adds.
+            total += float(sv_times.max()) if sv_times.size else 0.0
+            total += len(wave.sv_stats) * self.cpu.lock_overhead_s
+        return total * self.cal.time_scale
+
+    def reconstruction_time(
+        self,
+        equits: float,
+        sv_side: int,
+        *,
+        n_cores: int | None = None,
+        zero_skip_fraction: float = 0.0,
+    ) -> float:
+        """Total modeled PSV-ICD time = measured equits x modeled equit time."""
+        if equits < 0:
+            raise ValueError("equits must be >= 0")
+        return equits * self.psv_equit_time(
+            sv_side, n_cores=n_cores, zero_skip_fraction=zero_skip_fraction
+        )

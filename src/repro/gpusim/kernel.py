@@ -1,0 +1,81 @@
+"""Kernel configuration and cost-breakdown records.
+
+:class:`GPUKernelConfig` collects the *code-generation* choices of §4 — the
+data layout, the A-matrix representation and path, the double-read trick,
+and the register/shared-memory placement — i.e. everything Table 2, Table 3
+and Fig. 6 toggle.  The algorithmic knobs (SV side, batch size, ...) live in
+:class:`repro.core.gpu_icd.GPUICDParams`; hardware constants live in
+:class:`repro.gpusim.device.GPUDeviceSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GPUKernelConfig", "KernelCost"]
+
+
+@dataclass(frozen=True)
+class GPUKernelConfig:
+    """Compile-time / implementation choices for the MBIR GPU kernel."""
+
+    #: §4.1 — transposed + zero-padded chunked layout vs the naive
+    #: sensor-major layout (the Fig. 6 baseline).
+    transformed_layout: bool = True
+    #: §4.3.1 — A-matrix entry bytes: 1 (quantised unsigned char) or 4 (float).
+    a_matrix_bytes: int = 1
+    #: §4.3.1 — read the A-matrix through the unified L1/texture cache.
+    a_via_texture: bool = True
+    #: §4.3.2 — read the SVB as double (8 bytes) to reach full L2 bandwidth.
+    sinogram_as_double: bool = True
+    #: §4.2 — spill thread-locals to shared memory (32 regs, 100 % occupancy)
+    #: instead of the natural 44-register build.
+    shared_spill: bool = True
+    #: Registers per thread for the two builds.
+    registers_spilled: int = 32
+    registers_natural: int = 44
+    #: Static shared memory per block (reduction staging), bytes per thread.
+    shared_bytes_per_thread: int = 16
+    #: Extra shared memory per thread used by the spilled variables.
+    spill_bytes_per_thread: int = 24
+
+    def __post_init__(self) -> None:
+        if self.a_matrix_bytes not in (1, 4):
+            raise ValueError(f"a_matrix_bytes must be 1 or 4, got {self.a_matrix_bytes}")
+
+    @property
+    def registers_per_thread(self) -> int:
+        """Register count of the selected build."""
+        return self.registers_spilled if self.shared_spill else self.registers_natural
+
+    def shared_bytes_per_block(self, threads_per_block: int) -> int:
+        """Shared-memory footprint of one block."""
+        per_thread = self.shared_bytes_per_thread + (
+            self.spill_bytes_per_thread if self.shared_spill else 0
+        )
+        return per_thread * threads_per_block
+
+    def with_(self, **changes) -> "GPUKernelConfig":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Time breakdown of one kernel launch (seconds)."""
+
+    total: float
+    bottleneck: str  # which component bound the kernel
+    times: dict[str, float]  # per-resource service times
+    occupancy: float
+    hiding_factor: float
+    imbalance: float
+    l2_hit_rate: float  # SVB reuse hit rate in L2
+    tex_hit_rate: float
+    #: Total traffic moved by the kernel (None for legacy callers); used by
+    #: the achieved-bandwidth report that mirrors §5.3's accounting.
+    traffic: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError("kernel time must be non-negative")

@@ -1,0 +1,454 @@
+"""End-to-end GPU timing model for GPU-ICD.
+
+Combines the substrate pieces — occupancy, layout statistics, working-set
+L2 model, scheduling, atomics — into per-kernel, per-batch and per-equit
+times for a given :class:`~repro.core.gpu_icd.GPUICDParams` /
+:class:`~repro.gpusim.kernel.GPUKernelConfig` pair.
+
+The model is evaluated on *geometry statistics* (per-view footprint runs,
+band widths), so it can cost the paper's full 512^2 / 720-view / 1024-
+channel problem without materialising a system matrix, while the same code
+costs the scaled problems whose convergence we measure for real.  A batch
+is three GPU kernels (Alg. 3): SVB creation, the MBIR kernel, and the
+atomic error-sinogram merge.
+
+Every mechanism maps to a sentence of the paper; see the module docstrings
+of :mod:`repro.gpusim.calibration` (constants), :mod:`repro.layout.chunks`
+(layout effects) and :mod:`repro.gpusim.atomics` (contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.gpu_icd import GPUExecutionTrace, GPUICDParams
+from repro.ct.geometry import ParallelBeamGeometry
+from repro.gpusim.atomics import expected_conflict_degree
+from repro.gpusim.calibration import DEFAULT_GPU_CALIBRATION, GPUCalibration
+from repro.gpusim.device import TITAN_X, GPUDeviceSpec
+from repro.gpusim.kernel import GPUKernelConfig, KernelCost
+from repro.gpusim.memory import TrafficVector, latency_hiding_factor, memory_time
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.scheduler import imbalance_factor
+from repro.layout.chunks import chunk_layout_stats, naive_layout_stats, view_run_lengths
+from repro.utils import check_positive
+
+__all__ = ["SVBStats", "analytic_svb_stats", "GPUTimingModel"]
+
+
+@dataclass(frozen=True)
+class SVBStats:
+    """Analytic SuperVoxel-buffer sizes for one SV side length."""
+
+    sv_side: int
+    rect_cells: float  # n_views x W (the padded rectangle)
+    mean_band_cells: float  # sum of true per-view band widths
+    width: float  # W, the widest band
+
+    def rect_bytes(self, bytes_per_cell: int = 4) -> float:
+        """Memory footprint of one SVB."""
+        return self.rect_cells * bytes_per_cell
+
+
+def analytic_svb_stats(geometry: ParallelBeamGeometry, sv_side: int) -> SVBStats:
+    """Band statistics of an ``sv_side`` SuperVoxel from geometry alone.
+
+    An SV tile of side ``s`` spans ``s * (|cos| + |sin|)`` pixel widths on
+    the detector at each view, plus one voxel footprint of padding; the
+    rectangular SVB width is the maximum over views (reached at 45 deg).
+    """
+    check_positive("sv_side", sv_side)
+    angles = np.arange(geometry.n_views)
+    w1, w2 = geometry.footprint_widths(angles)
+    tile_span = (sv_side - 1) * geometry.pixel_size * (
+        np.abs(np.cos(geometry.angles)) + np.abs(np.sin(geometry.angles))
+    )
+    band_widths = (tile_span + (w1 + w2)) / geometry.channel_spacing + 1.0
+    width = float(band_widths.max())
+    return SVBStats(
+        sv_side=sv_side,
+        rect_cells=width * geometry.n_views,
+        mean_band_cells=float(band_widths.sum()),
+        width=width,
+    )
+
+
+class GPUTimingModel:
+    """Performance model of GPU-ICD on a given geometry and device."""
+
+    def __init__(
+        self,
+        geometry: ParallelBeamGeometry,
+        *,
+        device: GPUDeviceSpec = TITAN_X,
+        calibration: GPUCalibration = DEFAULT_GPU_CALIBRATION,
+    ) -> None:
+        self.geometry = geometry
+        self.device = device
+        self.cal = calibration
+        self._max_warps = device.n_smm * device.max_threads_per_smm / device.warp_size
+        self._raw_elements = float(view_run_lengths(geometry).sum())
+
+    # ------------------------------------------------------------------
+    # Cached geometry-derived statistics
+    # ------------------------------------------------------------------
+    @lru_cache(maxsize=64)
+    def _chunk_stats(self, chunk_width: int):
+        return chunk_layout_stats(self.geometry, chunk_width, warp_size=self.device.warp_size)
+
+    @lru_cache(maxsize=4)
+    def _naive_stats(self):
+        return naive_layout_stats(self.geometry)
+
+    @lru_cache(maxsize=64)
+    def svb_stats(self, sv_side: int) -> SVBStats:
+        """Cached analytic SVB statistics."""
+        return analytic_svb_stats(self.geometry, sv_side)
+
+    # ------------------------------------------------------------------
+    # Component models
+    # ------------------------------------------------------------------
+    def tex_hit_rate(self, config: GPUKernelConfig) -> float:
+        """Unified L1/texture hit rate of A-matrix reads (Table 2's column)."""
+        if not config.a_via_texture:
+            return 0.0
+        hr = self.cal.tex_hit_rate_1byte - self.cal.tex_hit_rate_slope_per_byte * (
+            config.a_matrix_bytes - 1
+        )
+        return float(np.clip(hr, 0.0, 1.0))
+
+    def _view_asymmetry_waste(self, threads_per_block: int) -> float:
+        """Idle-lane factor from distributing ``n_views`` of work over threads.
+
+        720 views over 512 threads forces 2 views on 208 threads and 1 on
+        the rest — §5.4's "asymmetric work distribution of the 720 views".
+        """
+        v = self.geometry.n_views
+        if threads_per_block >= v:
+            return threads_per_block / v
+        return threads_per_block * np.ceil(v / threads_per_block) / v
+
+    def _voxel_imbalance(
+        self,
+        voxels_per_sv: float,
+        skipped_per_sv: float,
+        params: GPUICDParams,
+    ) -> float:
+        """Makespan inflation of the per-SV voxel loop (Table 3, dynamic dist.)."""
+        n_updates = max(int(round(voxels_per_sv)), 1)
+        n_skipped = max(int(round(skipped_per_sv)), 0)
+        return _cached_voxel_imbalance(
+            n_updates,
+            n_skipped,
+            params.threadblocks_per_sv,
+            params.dynamic_scheduling,
+            self.cal.skipped_voxel_cost,
+        )
+
+    # ------------------------------------------------------------------
+    # Kernel / batch / equit times
+    # ------------------------------------------------------------------
+    def mbir_kernel_cost(
+        self,
+        n_svs: int,
+        voxels_per_sv: float,
+        params: GPUICDParams,
+        config: GPUKernelConfig,
+        *,
+        skipped_per_sv: float = 0.0,
+    ) -> KernelCost:
+        """Time of one MBIR kernel processing ``n_svs`` SVs."""
+        check_positive("n_svs", n_svs)
+        if voxels_per_sv < 0 or skipped_per_sv < 0:
+            raise ValueError("voxel counts must be non-negative")
+        device = self.device
+        cal = self.cal
+        threads = params.threads_per_block
+        occ = occupancy(
+            device,
+            threads,
+            config.registers_per_thread,
+            config.shared_bytes_per_block(threads),
+        )
+        warps_per_block = -(-threads // device.warp_size)
+        blocks_launched = n_svs * params.threadblocks_per_sv
+        resident_blocks = min(blocks_launched, occ.blocks_per_smm * device.n_smm)
+        active_warps = resident_blocks * warps_per_block
+        hiding = latency_hiding_factor(
+            active_warps, self._max_warps, cal.warp_saturation_fraction
+        )
+
+        # Per-voxel layout statistics.
+        if config.transformed_layout:
+            st = self._chunk_stats(params.chunk_width)
+            elements = st.elements
+            svb_read_bytes = st.array_traffic_bytes(4)
+            a_bytes = st.array_traffic_bytes(config.a_matrix_bytes)
+            request_eff = st.request_efficiency(4)
+            metadata_bytes = st.n_chunks * 32.0
+        else:
+            ns = self._naive_stats()
+            elements = ns.raw_elements
+            svb_read_bytes = ns.array_traffic_bytes(4) + ns.lookup_sectors * ns.sector_bytes
+            a_bytes = ns.array_traffic_bytes(config.a_matrix_bytes)
+            request_eff = ns.request_efficiency
+            metadata_bytes = 0.0
+        raw = self._raw_elements
+
+        # SVB residency in L2 (consecutive threadblocks per SV concentrate
+        # the concurrent working set, §3.2).
+        svb = self.svb_stats(params.sv_side)
+        active_svbs = resident_blocks / params.threadblocks_per_sv + cal.svb_working_margin
+        working_set = active_svbs * svb.rect_bytes(4)
+        l2_capacity = cal.l2_svb_capacity_fraction * device.l2_bytes
+        svb_l2_hit = min(1.0, l2_capacity / working_set) if working_set > 0 else 1.0
+
+        # Texture path for the A-matrix.
+        tex_hr = self.tex_hit_rate(config)
+        if config.a_via_texture:
+            tex_bytes = a_bytes
+            a_l2_bytes = (1.0 - tex_hr) * a_bytes
+        else:
+            tex_bytes = 0.0
+            a_l2_bytes = a_bytes
+        a_dram_bytes = a_l2_bytes * (1.0 - cal.a_l2_hit_rate)
+
+        # Atomic write-back of the voxel's footprint into the SVB.
+        raw_degree = expected_conflict_degree(raw, params.threadblocks_per_sv, svb.rect_cells)
+        intra_degree = 1.0 + (raw_degree - 1.0) * cal.atomic_conflict_scale
+        atomic_ops = raw
+        atomic_bytes = atomic_ops * 8.0 * intra_degree  # read-modify-write
+
+        # Missed SVB reads re-occupy the L2 pipelines (refill + replay), and
+        # the 4-byte vs 8-byte access-width efficiency (§4.3.2) applies to
+        # the read stream only — write-backs are 4-byte atomics either way.
+        # Service bytes are normalised to the double-read efficiency that
+        # memory_time() charges for the whole ledger.
+        read_eff = (
+            cal.l2_efficiency_double if config.sinogram_as_double else cal.l2_efficiency_float
+        )
+        svb_l2_physical = svb_read_bytes * (
+            1.0 + (1.0 - svb_l2_hit) * cal.l2_miss_expansion
+        )
+        svb_l2_service = svb_l2_physical * (cal.l2_efficiency_double / read_eff)
+        per_voxel = TrafficVector(
+            dram_bytes=a_dram_bytes + (1.0 - svb_l2_hit) * svb_read_bytes,
+            l2_bytes=svb_l2_service
+            + a_l2_bytes * cal.a_traffic_weight
+            + atomic_bytes
+            + metadata_bytes,
+            tex_bytes=tex_bytes,
+            shared_bytes=elements * cal.shared_bytes_per_element,
+            flops=elements * cal.flops_per_element,
+            atomic_ops=atomic_ops * intra_degree,
+        )
+        n_updates = n_svs * voxels_per_sv
+        skip_equiv = n_svs * skipped_per_sv * cal.skipped_voxel_cost
+        traffic = per_voxel.scaled(n_updates + skip_equiv)
+        # Physical bytes (no access-width service normalisation) for the
+        # achieved-bandwidth report.
+        per_voxel_physical = TrafficVector(
+            dram_bytes=per_voxel.dram_bytes,
+            l2_bytes=per_voxel.l2_bytes - (svb_l2_service - svb_l2_physical),
+            tex_bytes=per_voxel.tex_bytes,
+            shared_bytes=per_voxel.shared_bytes,
+            flops=per_voxel.flops,
+            atomic_ops=per_voxel.atomic_ops,
+        )
+        traffic_physical = per_voxel_physical.scaled(n_updates + skip_equiv)
+
+        l2_eff = cal.l2_efficiency_double * request_eff
+        times = memory_time(traffic, device, hiding_factor=hiding, l2_access_efficiency=l2_eff)
+
+        # Serial per-voxel work (scheduling, reduction, scalar update),
+        # parallel across resident blocks.
+        reduction_cycles = np.log2(max(threads, 2)) * cal.reduction_cycles_per_step
+        overhead_cycles = (n_updates + skip_equiv) * (
+            cal.per_voxel_overhead_cycles + reduction_cycles
+        )
+        times["overhead"] = overhead_cycles / (device.clock_hz * max(resident_blocks, 1))
+        times["atomics"] = traffic.atomic_ops / device.atomic_throughput_ops
+
+        bottleneck = max(times, key=times.get)
+        raw_imbalance = self._voxel_imbalance(voxels_per_sv, skipped_per_sv, params)
+        imbalance = 1.0 + (raw_imbalance - 1.0) * cal.imbalance_weight
+        # Idle lanes from the asymmetric view distribution stretch the
+        # whole lockstep execution (§5.4, the 512-thread penalty).
+        waste = self._view_asymmetry_waste(threads)
+        total = (
+            max(times.values()) * imbalance * waste + device.kernel_launch_overhead_s
+        ) * cal.time_scale
+        return KernelCost(
+            total=total,
+            bottleneck=bottleneck,
+            times=times,
+            occupancy=occ.occupancy,
+            hiding_factor=hiding,
+            imbalance=imbalance,
+            l2_hit_rate=svb_l2_hit,
+            tex_hit_rate=tex_hr,
+            traffic=traffic_physical,
+        )
+
+    def bandwidth_report(
+        self,
+        params: GPUICDParams,
+        config: GPUKernelConfig | None = None,
+        *,
+        zero_skip_fraction: float = 0.4,
+    ) -> dict[str, float]:
+        """Achieved bandwidth per memory level (GB/s) at steady state.
+
+        Mirrors §5.3's accounting: each level's moved bytes divided by the
+        kernel time, plus the aggregate and its ratio to the device-memory
+        peak — the paper reports 1802 GB/s total, "5.36X that of the
+        maximum device memory bandwidth".
+        """
+        config = config if config is not None else GPUKernelConfig()
+        voxels = params.sv_side**2 * (1.0 - zero_skip_fraction)
+        skipped = params.sv_side**2 * zero_skip_fraction
+        kc = self.mbir_kernel_cost(
+            params.batch_size, voxels, params, config, skipped_per_sv=skipped
+        )
+        t = kc.total
+        traffic = kc.traffic
+        report = {
+            "dram_gbps": traffic.dram_bytes / t / 1e9,
+            "l2_gbps": traffic.l2_bytes / t / 1e9,
+            "tex_gbps": traffic.tex_bytes / t / 1e9,
+            "shared_gbps": traffic.shared_bytes / t / 1e9,
+        }
+        report["total_gbps"] = sum(report.values())
+        report["ratio_to_dram_peak"] = report["total_gbps"] * 1e9 / self.device.dram_peak_bw
+        return report
+
+    def svb_create_time(self, n_svs: int, sv_side: int) -> float:
+        """Time of the SVB-creation kernel for a batch (Alg. 3 line 28)."""
+        svb = self.svb_stats(sv_side)
+        traffic = n_svs * svb.rect_cells * self.cal.svb_create_bytes_per_cell
+        bw = self.device.dram_peak_bw * 0.6  # strided gather from the sinogram
+        return (traffic / bw + self.device.kernel_launch_overhead_s) * self.cal.time_scale
+
+    def merge_time(self, n_svs: int, sv_side: int, params: GPUICDParams) -> float:
+        """Time of the atomic error-sinogram merge kernel (Alg. 3 line 30)."""
+        svb = self.svb_stats(sv_side)
+        sino_cells = self.geometry.n_views * self.geometry.n_channels
+        degree = expected_conflict_degree(svb.mean_band_cells, n_svs, sino_cells)
+        ops = n_svs * svb.mean_band_cells
+        bytes_moved = n_svs * svb.rect_cells * self.cal.svb_merge_bytes_per_cell * degree
+        t_bw = bytes_moved / (self.device.l2_peak_bw * self.cal.l2_efficiency_float)
+        t_ops = ops * degree / self.device.atomic_throughput_ops
+        return (max(t_bw, t_ops) + self.device.kernel_launch_overhead_s) * self.cal.time_scale
+
+    def batch_time(
+        self,
+        n_svs: int,
+        voxels_per_sv: float,
+        params: GPUICDParams,
+        config: GPUKernelConfig,
+        *,
+        skipped_per_sv: float = 0.0,
+    ) -> float:
+        """Create + MBIR + merge time for one batch of SVs."""
+        kernel = self.mbir_kernel_cost(
+            n_svs, voxels_per_sv, params, config, skipped_per_sv=skipped_per_sv
+        )
+        return (
+            kernel.total
+            + self.svb_create_time(n_svs, params.sv_side)
+            + self.merge_time(n_svs, params.sv_side, params)
+        )
+
+    def equit_time(
+        self,
+        params: GPUICDParams,
+        config: GPUKernelConfig | None = None,
+        *,
+        zero_skip_fraction: float = 0.0,
+    ) -> float:
+        """Modeled seconds per equit (n_voxels actual voxel updates).
+
+        ``zero_skip_fraction`` is the fraction of *visited* voxels that
+        zero-skipping rejects; equits count only performed updates, so the
+        skipped visits add their (small) test cost on top.
+        """
+        config = config if config is not None else GPUKernelConfig()
+        if not 0.0 <= zero_skip_fraction < 1.0:
+            raise ValueError("zero_skip_fraction must be in [0, 1)")
+        voxels_per_sv = params.sv_side**2 * (1.0 - zero_skip_fraction)
+        skipped_per_sv = params.sv_side**2 * zero_skip_fraction
+        updates_per_batch = params.batch_size * voxels_per_sv
+        # One equit = n_voxels *performed* updates (visited-and-skipped
+        # voxels do not count, but their visit cost is charged above).
+        n_batches = self.geometry.n_voxels / updates_per_batch
+        return n_batches * self.batch_time(
+            params.batch_size,
+            voxels_per_sv,
+            params,
+            config,
+            skipped_per_sv=skipped_per_sv,
+        )
+
+    def run_time_from_trace(
+        self,
+        trace: GPUExecutionTrace,
+        config: GPUKernelConfig | None = None,
+    ) -> float:
+        """Modeled wall time of a *real* (scaled) GPU-ICD run.
+
+        Walks the recorded kernel launches, costing each batch with its
+        actual SV count and per-SV update/skip statistics.  The model's
+        geometry must match the geometry the trace was produced on.
+        """
+        config = config if config is not None else GPUKernelConfig()
+        params = trace.params
+        total = 0.0
+        for k in trace.kernels:
+            if k.n_svs == 0:
+                continue
+            updates = np.array([s.updates for s in k.sv_stats], dtype=np.float64)
+            skipped = np.array([s.skipped for s in k.sv_stats], dtype=np.float64)
+            total += self.batch_time(
+                k.n_svs,
+                float(updates.mean()),
+                params,
+                config,
+                skipped_per_sv=float(skipped.mean()),
+            )
+        return total
+
+    def reconstruction_time(
+        self,
+        equits: float,
+        params: GPUICDParams,
+        config: GPUKernelConfig | None = None,
+        *,
+        zero_skip_fraction: float = 0.0,
+    ) -> float:
+        """Total modeled reconstruction time = measured equits x modeled equit time."""
+        if equits < 0:
+            raise ValueError("equits must be >= 0")
+        return equits * self.equit_time(params, config, zero_skip_fraction=zero_skip_fraction)
+
+
+@lru_cache(maxsize=512)
+def _cached_voxel_imbalance(
+    n_updates: int,
+    n_skipped: int,
+    n_workers: int,
+    dynamic: bool,
+    skipped_cost: float,
+) -> float:
+    """Deterministic synthetic-task imbalance of the intra-SV voxel loop."""
+    rng = np.random.default_rng(12345)
+    costs = np.concatenate(
+        [np.ones(n_updates), np.full(n_skipped, skipped_cost)]
+    )
+    factors = []
+    for _ in range(4):
+        rng.shuffle(costs)
+        factors.append(imbalance_factor(costs, n_workers, dynamic=dynamic))
+    return float(np.mean(factors))

@@ -1,0 +1,101 @@
+"""Warp-level memory coalescing model.
+
+"If threads in a warp access neighboring memory locations, these accesses
+may get coalesced into only a single memory access, improving memory
+bandwidth" (§2.3).  The hardware unit of coalescing is the 32-byte sector:
+one warp-wide load instruction generates one memory transaction per
+*distinct sector* its 32 threads touch.  A fully coalesced 4-byte load by a
+32-thread warp touches 128 contiguous bytes = 4 sectors; a fully scattered
+one touches up to 32 sectors — an 8x traffic difference, which is exactly
+what the paper's data-layout transformation (§4.1) removes.
+
+The functions here map *element index traces* (produced by
+:mod:`repro.layout.traces`) to transaction counts and traffic bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive
+
+__all__ = ["transactions_for_warp", "warp_traffic", "coalescing_efficiency"]
+
+
+def transactions_for_warp(
+    byte_addresses: np.ndarray,
+    *,
+    sector_bytes: int = 32,
+) -> int:
+    """Number of memory transactions one warp-wide access generates.
+
+    Parameters
+    ----------
+    byte_addresses:
+        Byte address touched by each active thread (inactive threads are
+        simply omitted).  An empty array costs zero transactions.
+    sector_bytes:
+        Transaction granularity (32 B on Maxwell for L2 traffic).
+    """
+    check_positive("sector_bytes", sector_bytes)
+    addrs = np.asarray(byte_addresses)
+    if addrs.size == 0:
+        return 0
+    return int(np.unique(addrs // sector_bytes).size)
+
+
+def warp_traffic(
+    element_indices: np.ndarray,
+    *,
+    element_bytes: int,
+    warp_size: int = 32,
+    sector_bytes: int = 32,
+) -> tuple[int, int]:
+    """Transactions and traffic bytes for a sequence of warp-wide accesses.
+
+    The flat ``element_indices`` are consumed ``warp_size`` at a time, in
+    order — thread ``t`` of each warp-iteration accesses element
+    ``element_indices[i * warp_size + t]`` — which is exactly how the MBIR
+    kernel walks a voxel's footprint.  Negative indices mark inactive lanes
+    (e.g. padding beyond the footprint).
+
+    Returns
+    -------
+    (n_transactions, traffic_bytes):
+        Traffic is ``n_transactions * sector_bytes`` — what the memory
+        system actually moves, as opposed to the bytes the kernel *uses*.
+    """
+    check_positive("element_bytes", element_bytes)
+    check_positive("warp_size", warp_size)
+    idx = np.asarray(element_indices, dtype=np.int64)
+    total = 0
+    for start in range(0, idx.size, warp_size):
+        lane_idx = idx[start : start + warp_size]
+        active = lane_idx[lane_idx >= 0]
+        if active.size == 0:
+            continue
+        total += transactions_for_warp(active * element_bytes, sector_bytes=sector_bytes)
+    return total, total * sector_bytes
+
+
+def coalescing_efficiency(
+    element_indices: np.ndarray,
+    *,
+    element_bytes: int,
+    warp_size: int = 32,
+    sector_bytes: int = 32,
+) -> float:
+    """Useful-bytes / moved-bytes for an access trace (1.0 = perfectly coalesced).
+
+    Padding lanes (negative indices) count as moved-but-useless, so a layout
+    that coalesces by over-fetching zero-padding is charged for it — the
+    trade-off at the heart of Fig. 6.
+    """
+    idx = np.asarray(element_indices, dtype=np.int64)
+    useful = int(np.count_nonzero(idx >= 0)) * element_bytes
+    _, moved = warp_traffic(
+        idx, element_bytes=element_bytes, warp_size=warp_size, sector_bytes=sector_bytes
+    )
+    if moved == 0:
+        return 1.0
+    return useful / moved

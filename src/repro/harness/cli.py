@@ -1,0 +1,116 @@
+"""Command-line interface to the experiment harness.
+
+    python -m repro table1 [--pixels 64] [--cases 3]
+    python -m repro fig5 | fig6 | fig7a | fig7b | fig7c | fig7d
+    python -m repro table2 | table3
+    python -m repro all
+    python -m repro tune [--zero-skip 0.4]
+
+Each experiment prints the same rows/series the paper reports (see
+EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import (
+    ExperimentContext,
+    run_fig5,
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+    run_fig7c,
+    run_fig7d,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7a": run_fig7a,
+    "fig7b": run_fig7b,
+    "fig7c": run_fig7c,
+    "fig7d": run_fig7d,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the tables and figures of the GPU-ICD paper (PPoPP 2017).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "tune", "suite"],
+        help="which experiment to run ('all' runs every table/figure; "
+        "'suite' runs the ensemble statistics)",
+    )
+    parser.add_argument("--pixels", type=int, default=64,
+                        help="scaled image side for real-numerics runs (default 64)")
+    parser.add_argument("--cases", type=int, default=3,
+                        help="ensemble size for Table 1 (default 3)")
+    parser.add_argument("--seed", type=int, default=0, help="ensemble/run seed")
+    parser.add_argument("--zero-skip", type=float, default=0.4,
+                        help="zero-skip fraction for 'tune' (default 0.4)")
+    return parser
+
+
+def _run_one(name: str, ctx: ExperimentContext) -> None:
+    t0 = time.perf_counter()
+    result = _EXPERIMENTS[name](ctx)
+    dt = time.perf_counter() - t0
+    bar = "=" * 72
+    print(f"\n{bar}\n{name.upper()}  ({dt:.1f} s)\n{bar}")
+    print(result.format())
+
+
+def _run_tune(args) -> None:
+    from repro.ct import paper_geometry
+    from repro.gpusim import GPUTimingModel
+    from repro.tuning import AutoTuner
+
+    tuner = AutoTuner(GPUTimingModel(paper_geometry()), zero_skip_fraction=args.zero_skip)
+    res = tuner.coordinate_descent()
+    p = res.best_params
+    print("auto-tuned GPU-ICD parameters (coordinate descent on the model):")
+    print(f"  sv_side={p.sv_side} threadblocks_per_sv={p.threadblocks_per_sv} "
+          f"threads_per_block={p.threads_per_block} batch_size={p.batch_size} "
+          f"chunk_width={p.chunk_width}")
+    print(f"  modeled time/equit: {res.best_time * 1e3:.2f} ms "
+          f"({res.evaluations} model evaluations)")
+    print("  paper's hand-tuned point: sv_side=33 tb/SV=40 threads=256 "
+          "batch=32 chunk=32 at ~70 ms/equit")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "tune":
+        _run_tune(args)
+        return 0
+    if args.experiment == "suite":
+        from repro.harness.suite import run_suite
+
+        ctx = ExperimentContext(n_pixels=args.pixels, n_cases=args.cases, seed=args.seed)
+        print(run_suite(ctx).format())
+        return 0
+    ctx = ExperimentContext(n_pixels=args.pixels, n_cases=args.cases, seed=args.seed)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, ctx)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Plain-text table/series rendering for the experiment harness.
+
+The benchmark targets print the same rows and series the paper reports;
+keeping the formatting in one place makes the bench output uniform and the
+EXPERIMENTS.md tables copy-pasteable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_markdown_table", "geometric_mean", "fmt"]
+
+
+def fmt(value, precision: int = 3) -> str:
+    """Uniform scalar formatting: floats to ``precision`` significant style."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table with a header rule."""
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    out = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's speedup aggregation)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,131 @@
+"""Persistence: save and load scans, images and reconstruction histories.
+
+Plain ``.npz`` containers with a small schema (format tag + version), so
+scans synthesised once (e.g. a large benchmark ensemble) can be reused
+across sessions and reconstructions can be archived next to their
+convergence histories.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.convergence import IterationRecord, RunHistory
+from repro.ct.geometry import ParallelBeamGeometry
+from repro.ct.sinogram import ScanData
+
+__all__ = ["save_scan", "load_scan", "save_reconstruction", "load_reconstruction"]
+
+_SCAN_FORMAT = "repro-scan-v1"
+_RECON_FORMAT = "repro-recon-v1"
+
+
+def _geometry_meta(geometry: ParallelBeamGeometry) -> dict:
+    return {
+        "n_pixels": geometry.n_pixels,
+        "n_views": geometry.n_views,
+        "n_channels": geometry.n_channels,
+        "pixel_size": geometry.pixel_size,
+        "channel_spacing": geometry.channel_spacing,
+    }
+
+
+def _geometry_from_meta(meta: dict) -> ParallelBeamGeometry:
+    return ParallelBeamGeometry(
+        n_pixels=int(meta["n_pixels"]),
+        n_views=int(meta["n_views"]),
+        n_channels=int(meta["n_channels"]),
+        pixel_size=float(meta["pixel_size"]),
+        channel_spacing=float(meta["channel_spacing"]),
+    )
+
+
+def save_scan(path: str | Path, scan: ScanData) -> None:
+    """Write a scan (sinogram, weights, geometry, optional truth) to ``path``."""
+    path = Path(path)
+    payload = {
+        "format": np.array(_SCAN_FORMAT),
+        "geometry": np.array(json.dumps(_geometry_meta(scan.geometry))),
+        "sinogram": scan.sinogram,
+        "weights": scan.weights,
+    }
+    if scan.ground_truth is not None:
+        payload["ground_truth"] = scan.ground_truth
+    np.savez_compressed(path, **payload)
+
+
+def load_scan(path: str | Path) -> ScanData:
+    """Read a scan written by :func:`save_scan`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        fmt = str(data["format"])
+        if fmt != _SCAN_FORMAT:
+            raise ValueError(f"{path}: not a repro scan file (format={fmt!r})")
+        geometry = _geometry_from_meta(json.loads(str(data["geometry"])))
+        ground_truth = data["ground_truth"] if "ground_truth" in data else None
+        return ScanData(
+            geometry=geometry,
+            sinogram=np.asarray(data["sinogram"], dtype=np.float64),
+            weights=np.asarray(data["weights"], dtype=np.float64),
+            ground_truth=None if ground_truth is None else np.asarray(ground_truth),
+        )
+
+
+def save_reconstruction(
+    path: str | Path,
+    image: np.ndarray,
+    history: RunHistory | None = None,
+    *,
+    metadata: dict | None = None,
+) -> None:
+    """Write a reconstructed image plus its convergence history."""
+    path = Path(path)
+    payload: dict = {
+        "format": np.array(_RECON_FORMAT),
+        "image": np.asarray(image),
+        "metadata": np.array(json.dumps(metadata or {})),
+    }
+    if history is not None:
+        payload["hist_iteration"] = np.array([r.iteration for r in history.records])
+        payload["hist_equits"] = np.array([r.equits for r in history.records])
+        payload["hist_cost"] = np.array([r.cost for r in history.records])
+        payload["hist_rmse"] = np.array(
+            [np.nan if r.rmse is None else r.rmse for r in history.records]
+        )
+        payload["hist_updates"] = np.array([r.updates for r in history.records])
+        payload["hist_svs"] = np.array([r.svs_updated for r in history.records])
+        payload["converged_equits"] = np.array(
+            np.nan if history.converged_equits is None else history.converged_equits
+        )
+    np.savez_compressed(path, **payload)
+
+
+def load_reconstruction(path: str | Path) -> tuple[np.ndarray, RunHistory | None, dict]:
+    """Read ``(image, history, metadata)`` written by :func:`save_reconstruction`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        fmt = str(data["format"])
+        if fmt != _RECON_FORMAT:
+            raise ValueError(f"{path}: not a repro reconstruction file (format={fmt!r})")
+        image = np.asarray(data["image"])
+        metadata = json.loads(str(data["metadata"]))
+        history = None
+        if "hist_iteration" in data:
+            history = RunHistory()
+            rmses = data["hist_rmse"]
+            for i in range(data["hist_iteration"].size):
+                history.append(
+                    IterationRecord(
+                        iteration=int(data["hist_iteration"][i]),
+                        equits=float(data["hist_equits"][i]),
+                        cost=float(data["hist_cost"][i]),
+                        rmse=None if np.isnan(rmses[i]) else float(rmses[i]),
+                        updates=int(data["hist_updates"][i]),
+                        svs_updated=int(data["hist_svs"][i]),
+                    )
+                )
+            ce = float(data["converged_equits"])
+            if not np.isnan(ce):
+                history.converged_equits = ce
+        return image, history, metadata

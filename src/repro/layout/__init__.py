@@ -1,0 +1,43 @@
+"""Data-layout transformations (§4.1): chunked SVBs, quantised A-matrix, traces."""
+
+from repro.layout.amatrix_quant import (
+    QuantizedAMatrix,
+    dequantized_system_matrix,
+    quantize_system_matrix,
+)
+from repro.layout.chunks import (
+    ChunkLayoutStats,
+    NaiveLayoutStats,
+    chunk_layout_stats,
+    naive_layout_stats,
+    trace_total_variation,
+    view_run_lengths,
+)
+from repro.layout.svb_layout import (
+    Chunk,
+    build_chunk_table,
+    chunk_padded_elements,
+    member_view_runs,
+    to_sensor_major,
+)
+from repro.layout.traces import amatrix_stream, chunked_svb_trace, naive_svb_trace
+
+__all__ = [
+    "ChunkLayoutStats",
+    "NaiveLayoutStats",
+    "chunk_layout_stats",
+    "naive_layout_stats",
+    "view_run_lengths",
+    "trace_total_variation",
+    "Chunk",
+    "build_chunk_table",
+    "chunk_padded_elements",
+    "member_view_runs",
+    "to_sensor_major",
+    "QuantizedAMatrix",
+    "quantize_system_matrix",
+    "dequantized_system_matrix",
+    "chunked_svb_trace",
+    "naive_svb_trace",
+    "amatrix_stream",
+]

@@ -1,0 +1,89 @@
+"""A-matrix quantisation to unsigned char (§4.3.1).
+
+The A-matrix is read-only and streamed with little temporal locality, so
+the paper shrinks it 4x: each entry is normalised by its *voxel's* maximum
+entry and stored in 8 bits,
+
+    q = (unsigned char)((a / max_j) * 255 + 0.5)
+
+with ``max_j`` kept per voxel for dequantisation ``a ~= (q / 255) * max_j``
+before the actual computation.  The rounding gives the error bound
+``|a - a_hat| <= max_j / 510``, which our property tests verify, and the
+reconstruction quality is unaffected at CT dynamic range (Table 2 shows a
+1.17x speedup from the shrink + texture path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ct.system_matrix import SystemMatrix
+
+__all__ = ["QuantizedAMatrix", "quantize_system_matrix", "dequantized_system_matrix"]
+
+
+@dataclass
+class QuantizedAMatrix:
+    """CSC-aligned uint8 A-matrix plus per-voxel normalisation maxima."""
+
+    data: np.ndarray  # uint8, aligned with the source CSC data array
+    voxel_max: np.ndarray  # (n_voxels,) float64 per-column maxima
+    indptr: np.ndarray  # CSC column pointers (shared with the source)
+    indices: np.ndarray  # CSC row indices (shared with the source)
+    shape: tuple[int, int]
+
+    @property
+    def nbytes_data(self) -> int:
+        """Payload bytes — 1/4 of the float32 original."""
+        return self.data.nbytes
+
+    def dequantize_column(self, voxel: int) -> np.ndarray:
+        """Recover approximate float values of one voxel's column."""
+        sl = slice(self.indptr[voxel], self.indptr[voxel + 1])
+        return self.data[sl].astype(np.float64) * (self.voxel_max[voxel] / 255.0)
+
+
+def quantize_system_matrix(system: SystemMatrix) -> QuantizedAMatrix:
+    """Quantise ``system``'s values to uint8 with per-voxel max normalisation."""
+    A = system.matrix
+    data = A.data.astype(np.float64)
+    if np.any(data < 0):
+        raise ValueError("A-matrix entries must be non-negative for uint8 quantisation")
+    n_voxels = A.shape[1]
+    voxel_max = np.zeros(n_voxels, dtype=np.float64)
+    q = np.zeros(A.nnz, dtype=np.uint8)
+    for j in range(n_voxels):
+        sl = slice(A.indptr[j], A.indptr[j + 1])
+        col = data[sl]
+        if col.size == 0:
+            continue
+        m = float(col.max())
+        voxel_max[j] = m
+        if m > 0.0:
+            # The paper's formula: truncation of (a/max)*255 + 0.5 = rounding.
+            q[sl] = np.minimum((col / m) * 255.0 + 0.5, 255.0).astype(np.uint8)
+    return QuantizedAMatrix(
+        data=q,
+        voxel_max=voxel_max,
+        indptr=A.indptr,
+        indices=A.indices,
+        shape=A.shape,
+    )
+
+
+def dequantized_system_matrix(system: SystemMatrix, quant: QuantizedAMatrix) -> SystemMatrix:
+    """A :class:`SystemMatrix` whose values are the quantised approximations.
+
+    Running a reconstruction with this matrix measures the end-to-end image
+    impact of the 8-bit compression (it is negligible — the point of
+    §4.3.1).
+    """
+    scale = np.repeat(quant.voxel_max / 255.0, np.diff(quant.indptr))
+    approx = sp.csc_matrix(
+        (quant.data.astype(np.float32) * scale.astype(np.float32), quant.indices, quant.indptr),
+        shape=quant.shape,
+    )
+    return SystemMatrix(geometry=system.geometry, matrix=approx)

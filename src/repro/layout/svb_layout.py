@@ -1,0 +1,132 @@
+"""Concrete SVB layout transformations (Fig. 4a -> Fig. 4b).
+
+:mod:`repro.layout.chunks` models the layouts analytically; this module
+*builds* them, so tests can check the analytic statistics against real
+structures and the trace generator can produce genuine address streams.
+
+Layouts
+-------
+* **view-major** — what :meth:`repro.core.supervoxel.SuperVoxel.extract`
+  produces: a ``(n_views, W)`` rectangle, each row one view's channel band.
+  This is the transformed layout of Fig. 4b (rows at aligned addresses,
+  zero padding to a perfect rectangle).
+* **sensor-major** — the original layout of Fig. 4a: the same cells stored
+  channel-major, ``(W, n_views)``; walking a voxel's footprint hops a whole
+  column stride between consecutive views.
+* **chunk tables** — for each voxel, the list of fixed-width windows
+  (start view, row count, window channel offset) that tile its trace
+  through the view-major SVB; the unit of work distributed among warps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.supervoxel import SuperVoxel
+from repro.utils import check_positive
+
+__all__ = ["Chunk", "to_sensor_major", "member_view_runs", "build_chunk_table", "chunk_padded_elements"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk window of a voxel's footprint in a view-major SVB.
+
+    ``n_rows`` consecutive views starting at ``first_view``, each reading
+    ``width`` channels starting at SVB channel offset ``window_start``.
+    """
+
+    first_view: int
+    n_rows: int
+    window_start: int
+    width: int
+
+
+def to_sensor_major(svb_flat: np.ndarray, n_views: int, width: int) -> np.ndarray:
+    """Re-store a flat view-major SVB in sensor-channel-major order.
+
+    Returns a ``(width, n_views)`` array — the Fig. 4a original layout,
+    where consecutive memory holds the *same channel offset across views*.
+    """
+    return svb_flat.reshape(n_views, width).T.copy()
+
+
+def member_view_runs(sv: SuperVoxel, member: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-view footprint runs of one member voxel, in SVB coordinates.
+
+    Returns
+    -------
+    starts, counts:
+        Arrays of length ``n_views`` giving each view's first channel
+        offset within the SVB row and its run length (0 where the voxel has
+        no entries at that view).
+    """
+    idx = sv.member_footprint(member)
+    n_views = sv.band_lo.size
+    views = idx // sv.width
+    offsets = idx % sv.width
+    starts = np.zeros(n_views, dtype=np.int64)
+    counts = np.zeros(n_views, dtype=np.int64)
+    first = np.searchsorted(views, np.arange(n_views), side="left")
+    last = np.searchsorted(views, np.arange(n_views), side="right")
+    counts = (last - first).astype(np.int64)
+    present = counts > 0
+    starts[present] = offsets[first[present]]
+    return starts, counts
+
+
+def build_chunk_table(sv: SuperVoxel, member: int, chunk_width: int) -> list[Chunk]:
+    """Tile a member voxel's trace with fixed-width chunk windows.
+
+    Greedy: open a window at the current view's run start (clamped inside
+    the SVB row); extend it over consecutive views while their runs fit;
+    open a new window when the trace escapes.  Runs longer than the window
+    are covered by several side-by-side windows of the same view (the
+    ``ceil(run / width)`` splits of the analytic model).
+    """
+    check_positive("chunk_width", chunk_width)
+    starts, counts = member_view_runs(sv, member)
+    width = min(chunk_width, sv.width)
+    max_start = sv.width - width
+
+    chunks: list[Chunk] = []
+    current: Chunk | None = None
+    for view in range(starts.size):
+        if counts[view] == 0:
+            continue
+        run_lo = int(starts[view])
+        run_hi = run_lo + int(counts[view])  # exclusive
+        # Cover this view's run with one or more windows.
+        pos = run_lo
+        first_window = True
+        while pos < run_hi:
+            fits_current = (
+                first_window
+                and current is not None
+                and current.first_view + current.n_rows == view
+                and current.window_start <= pos
+                and run_hi <= current.window_start + width
+            )
+            if fits_current:
+                current = Chunk(
+                    first_view=current.first_view,
+                    n_rows=current.n_rows + 1,
+                    window_start=current.window_start,
+                    width=width,
+                )
+                chunks[-1] = current
+                pos = run_hi
+            else:
+                w0 = min(pos, max_start)
+                current = Chunk(first_view=view, n_rows=1, window_start=int(w0), width=width)
+                chunks.append(current)
+                pos = w0 + width
+            first_window = False
+    return chunks
+
+
+def chunk_padded_elements(chunks: list[Chunk]) -> int:
+    """Total padded elements a chunk table reads (rows x width)."""
+    return sum(c.n_rows * c.width for c in chunks)

@@ -1,0 +1,43 @@
+"""§6 generalization: coordinate descent for generic weighted least squares."""
+
+from repro.solvers.gauss_seidel import (
+    IterativeSolveResult,
+    colored_gauss_seidel,
+    coupling_colors,
+    gauss_seidel,
+    jacobi,
+)
+from repro.solvers.gcd import GCDResult, cd_solve, grouped_cd_solve
+from repro.solvers.robust import HuberResult, huber_weights, irls_solve
+from repro.solvers.svm import SVMProblem, SVMResult, make_classification, svm_dual_cd
+from repro.solvers.grouping import (
+    build_interference_graph,
+    cluster_supervariables,
+    color_groups,
+    correlation_matrix,
+)
+from repro.solvers.wls import WLSProblem, random_sparse_problem
+
+__all__ = [
+    "WLSProblem",
+    "random_sparse_problem",
+    "GCDResult",
+    "cd_solve",
+    "grouped_cd_solve",
+    "correlation_matrix",
+    "build_interference_graph",
+    "cluster_supervariables",
+    "color_groups",
+    "IterativeSolveResult",
+    "gauss_seidel",
+    "colored_gauss_seidel",
+    "jacobi",
+    "coupling_colors",
+    "SVMProblem",
+    "SVMResult",
+    "svm_dual_cd",
+    "make_classification",
+    "HuberResult",
+    "huber_weights",
+    "irls_solve",
+]

@@ -1,0 +1,6 @@
+"""Input-specific parameter auto-tuning (the paper's §8 future work)."""
+
+from repro.tuning.autotune import AutoTuner, SearchSpace, TuningResult
+from repro.tuning.predictor import estimate_zero_skip_fraction
+
+__all__ = ["AutoTuner", "SearchSpace", "TuningResult", "estimate_zero_skip_fraction"]

@@ -1,0 +1,47 @@
+"""Input-statistics predictors feeding the auto-tuner.
+
+The paper observes that "the best performing parameter values differ across
+images" (§5.2).  The input property our timing model is sensitive to is the
+zero-skip fraction — how much of the slice is air — which this module
+estimates *without running a reconstruction*, from the FBP image the
+iterative drivers initialise with anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.ct.fbp import fbp_reconstruct
+from repro.ct.phantoms import MU_WATER
+from repro.ct.sinogram import ScanData
+from repro.utils import check_positive
+
+__all__ = ["estimate_zero_skip_fraction"]
+
+
+def estimate_zero_skip_fraction(
+    scan: ScanData,
+    *,
+    threshold: float = 0.2 * MU_WATER,
+    erosion_margin: int = 1,
+) -> float:
+    """Estimate the fraction of voxel visits zero-skipping will reject.
+
+    Reconstructs the scan with FBP and counts voxels that are below
+    ``threshold`` *and* whose whole neighborhood is below it (zero-skipping
+    requires the voxel and all neighbors to be zero, so air pixels adjacent
+    to objects still get updated — approximated by eroding the air mask by
+    ``erosion_margin`` pixels).
+
+    Returns a value in [0, 0.99].
+    """
+    check_positive("threshold", threshold)
+    if erosion_margin < 0:
+        raise ValueError("erosion_margin must be >= 0")
+    img = fbp_reconstruct(scan.sinogram, scan.geometry)
+    air = img < threshold
+    if erosion_margin > 0:
+        size = 2 * erosion_margin + 1
+        air = ndimage.binary_erosion(air, structure=np.ones((size, size)))
+    return min(float(np.mean(air)), 0.99)

@@ -1,0 +1,18 @@
+"""Shared utilities: RNG management, validation helpers, lightweight logging."""
+
+from repro.utils.rng import resolve_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_in_range,
+    check_shape,
+    check_probability,
+)
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_in_range",
+    "check_shape",
+    "check_probability",
+]

@@ -1,0 +1,48 @@
+"""Argument-validation helpers shared across the library.
+
+These raise early, with messages that name the offending parameter, instead
+of letting malformed geometry or tuning parameters surface as cryptic NumPy
+broadcasting errors deep inside a reconstruction loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["check_positive", "check_in_range", "check_shape", "check_probability"]
+
+
+def check_positive(name: str, value: float | int, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0 if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: float | int,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi`` (or strict inequalities)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bounds = f"[{lo}, {hi}]" if inclusive else f"({lo}, {hi})"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> None:
+    """Raise ``ValueError`` unless ``array.shape`` equals ``shape``."""
+    if tuple(array.shape) != tuple(shape):
+        raise ValueError(f"{name} must have shape {tuple(shape)}, got {array.shape}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    check_in_range(name, value, 0.0, 1.0)

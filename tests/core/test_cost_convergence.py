@@ -1,0 +1,105 @@
+"""Tests for the cost function and convergence accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IterationRecord,
+    Neighborhood,
+    QuadraticPrior,
+    RunHistory,
+    data_cost,
+    map_cost,
+    prior_cost,
+    rmse_hu,
+)
+from repro.core.icd import default_prior
+from repro.ct import noiseless_scan
+from repro.ct.phantoms import MU_WATER
+
+
+class TestCosts:
+    def test_data_cost_zero_at_truth(self, system32, phantom32):
+        scan = noiseless_scan(phantom32, system32)
+        assert data_cost(phantom32, scan, system32) == pytest.approx(0.0, abs=1e-12)
+
+    def test_data_cost_positive_elsewhere(self, system32, phantom32):
+        scan = noiseless_scan(phantom32, system32)
+        assert data_cost(phantom32 * 0.5, scan, system32) > 0
+
+    def test_prior_cost_zero_for_flat_image(self, geom32):
+        nb = Neighborhood(geom32.n_pixels)
+        img = np.full((geom32.n_pixels, geom32.n_pixels), 0.5)
+        assert prior_cost(img, default_prior(), nb) == pytest.approx(0.0)
+
+    def test_prior_cost_grows_with_roughness(self, geom32, rng):
+        nb = Neighborhood(geom32.n_pixels)
+        prior = QuadraticPrior(1.0)
+        smooth = rng.random((geom32.n_pixels, geom32.n_pixels)) * 0.01
+        rough = rng.random((geom32.n_pixels, geom32.n_pixels))
+        assert prior_cost(rough, prior, nb) > prior_cost(smooth, prior, nb)
+
+    def test_map_cost_is_sum(self, system32, phantom32, scan32):
+        nb = Neighborhood(32)
+        prior = default_prior()
+        total = map_cost(phantom32, scan32, system32, prior, nb)
+        assert total == pytest.approx(
+            data_cost(phantom32, scan32, system32) + prior_cost(phantom32, prior, nb)
+        )
+
+
+class TestRMSE:
+    def test_identical_images(self, phantom32):
+        assert rmse_hu(phantom32, phantom32) == 0.0
+
+    def test_uniform_offset(self, phantom32):
+        # Offset of MU_WATER/100 = 10 HU exactly.
+        shifted = phantom32 + MU_WATER / 100
+        assert rmse_hu(shifted, phantom32) == pytest.approx(10.0)
+
+    def test_shape_mismatch(self, phantom32):
+        with pytest.raises(ValueError):
+            rmse_hu(phantom32, phantom32[:-1])
+
+
+class TestRunHistory:
+    def _record(self, i, equits, rmse):
+        return IterationRecord(
+            iteration=i, equits=equits, cost=1.0, rmse=rmse, updates=10, svs_updated=1
+        )
+
+    def test_convergence_marking(self):
+        h = RunHistory()
+        h.append(self._record(1, 1.0, 50.0))
+        h.append(self._record(2, 2.0, 9.0))
+        h.mark_converged_if_below(10.0)
+        assert h.converged_equits == 2.0
+        assert h.converged_iteration == 2
+
+    def test_no_convergence(self):
+        h = RunHistory()
+        h.append(self._record(1, 1.0, 50.0))
+        h.mark_converged_if_below(10.0)
+        assert h.converged_equits is None
+
+    def test_marking_idempotent(self):
+        h = RunHistory()
+        h.append(self._record(1, 1.0, 5.0))
+        h.mark_converged_if_below(10.0)
+        h.append(self._record(2, 2.0, 1.0))
+        h.mark_converged_if_below(10.0)
+        assert h.converged_equits == 1.0
+
+    def test_trajectories(self):
+        h = RunHistory()
+        h.append(self._record(1, 0.5, None))
+        h.append(self._record(2, 1.5, 20.0))
+        assert h.equits == 1.5
+        assert np.isnan(h.rmses[0])
+        assert h.rmses[1] == 20.0
+        np.testing.assert_array_equal(h.equit_trajectory, [0.5, 1.5])
+
+    def test_empty_history(self):
+        assert RunHistory().equits == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the sequential ICD driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuadraticPrior, icd_reconstruct, rmse_hu
+from repro.core.icd import golden_reconstruction, initial_image
+from repro.ct import noiseless_scan, shepp_logan
+
+
+class TestInitialImage:
+    def test_fbp_default(self, scan32):
+        img = initial_image(scan32)
+        assert img.shape == (32, 32)
+        assert img.max() > 0
+
+    def test_zero_init(self, scan32):
+        img = initial_image(scan32, init="zero")
+        assert np.all(img == 0)
+
+    def test_unknown_init(self, scan32):
+        with pytest.raises(ValueError):
+            initial_image(scan32, init="random")
+
+
+class TestICDReconstruct:
+    def test_cost_monotone(self, scan32, system32):
+        res = icd_reconstruct(scan32, system32, max_equits=4, seed=0)
+        costs = res.history.costs
+        assert len(costs) >= 3
+        assert np.all(np.diff(costs) <= 1e-9)
+
+    def test_error_sinogram_consistent(self, scan32, system32):
+        res = icd_reconstruct(scan32, system32, max_equits=3, seed=0, track_cost=False)
+        e_true = scan32.sinogram - system32.forward(res.image)
+        np.testing.assert_allclose(res.error_sinogram, e_true, atol=1e-8)
+
+    def test_equits_accounting(self, scan32, system32, geom32):
+        res = icd_reconstruct(scan32, system32, max_equits=3, seed=0, track_cost=False)
+        total_updates = sum(r.updates for r in res.history.records)
+        assert res.history.equits == pytest.approx(total_updates / geom32.n_voxels)
+        assert res.history.equits >= 3.0  # ran to the cap
+
+    def test_rmse_tracked_and_decreasing(self, scan32, system32, golden32):
+        res = icd_reconstruct(
+            scan32, system32, max_equits=5, golden=golden32, seed=1, track_cost=False
+        )
+        rmses = res.history.rmses
+        assert np.all(np.isfinite(rmses))
+        assert rmses[-1] < rmses[0]
+
+    def test_stop_rmse_halts_early(self, scan32, system32, golden32):
+        res = icd_reconstruct(
+            scan32, system32, max_equits=25, golden=golden32, stop_rmse=40.0,
+            seed=0, track_cost=False,
+        )
+        assert res.history.converged_equits is not None
+        assert res.history.converged_equits < 25
+
+    def test_deterministic_for_seed(self, scan32, system32):
+        a = icd_reconstruct(scan32, system32, max_equits=2, seed=9, track_cost=False)
+        b = icd_reconstruct(scan32, system32, max_equits=2, seed=9, track_cost=False)
+        np.testing.assert_array_equal(a.image, b.image)
+
+    def test_noiseless_weak_prior_recovers_phantom(self, system32):
+        """The MAP estimate with consistent data and a weak prior is the phantom."""
+        img = shepp_logan(32)
+        scan = noiseless_scan(img, system32)
+        res = icd_reconstruct(
+            scan, system32, prior=QuadraticPrior(sigma=100.0), max_equits=30,
+            golden=img, seed=0, track_cost=False,
+        )
+        assert res.history.rmses[-1] < 10.0  # HU
+
+    def test_zero_skip_on_zero_image(self, system32, geom32):
+        """A zero scan from a zero init never updates anything."""
+        scan = noiseless_scan(np.zeros((geom32.n_pixels, geom32.n_pixels)), system32)
+        res = icd_reconstruct(scan, system32, init="zero", max_equits=3, seed=0,
+                              track_cost=False)
+        assert np.all(res.image == 0)
+        assert res.history.records[-1].updates == 0
+
+    def test_positivity(self, scan32, system32):
+        res = icd_reconstruct(scan32, system32, max_equits=2, seed=0, track_cost=False)
+        assert np.all(res.image >= 0)
+
+
+class TestGolden:
+    def test_golden_close_to_long_run(self, scan32, system32, golden32):
+        golden = golden_reconstruction(scan32, system32, equits=25, seed=0)
+        assert rmse_hu(golden, golden32) < 5.0

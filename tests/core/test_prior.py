@@ -1,0 +1,144 @@
+"""Tests for the MRF priors and the neighborhood structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Neighborhood, QGGMRFPrior, QuadraticPrior
+
+
+def numeric_derivative(prior, d, eps=1e-7):
+    return (prior.potential(np.array([d + eps]))[0] - prior.potential(np.array([d - eps]))[0]) / (
+        2 * eps
+    )
+
+
+class TestQuadraticPrior:
+    def test_potential_value(self):
+        p = QuadraticPrior(sigma=2.0)
+        assert p.potential(np.array([4.0]))[0] == pytest.approx(2.0)
+
+    def test_influence_ratio_constant(self):
+        p = QuadraticPrior(sigma=0.5)
+        d = np.array([-3.0, 0.0, 7.0])
+        np.testing.assert_allclose(p.influence_ratio(d), 2.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            QuadraticPrior(sigma=0.0)
+
+
+class TestQGGMRFPrior:
+    def test_reduces_to_quadratic_at_q2(self):
+        """q = 2 makes the denominator constant-free: rho = d^2/(2 sigma^2 (1+1))... no —
+        at q = 2 the exponent 2-q = 0 so rho = d^2 / (4 sigma^2), still quadratic in d."""
+        p = QGGMRFPrior(sigma=1.0, q=2.0, T=1.0)
+        d = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(p.potential(d), d**2 / 4.0)
+
+    def test_influence_matches_numeric_derivative(self):
+        p = QGGMRFPrior(sigma=0.01, q=1.2, T=1.0)
+        for d in [-0.05, -0.001, 0.0005, 0.02, 0.3]:
+            analytic = 2.0 * d * p.influence_ratio(np.array([d]))[0]
+            numeric = numeric_derivative(p, d)
+            assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_influence_finite_at_zero(self):
+        p = QGGMRFPrior(sigma=0.5, q=1.2)
+        val = p.influence_ratio(np.array([0.0]))[0]
+        assert np.isfinite(val)
+        assert val == pytest.approx(1.0 / (2 * 0.25))
+
+    def test_edge_preserving_tail(self):
+        """Large differences are penalised less than quadratically."""
+        p = QGGMRFPrior(sigma=1.0, q=1.2, T=0.1)
+        quad = QuadraticPrior(sigma=1.0)
+        d = np.array([5.0])
+        assert p.potential(d)[0] < quad.potential(d)[0]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            QGGMRFPrior(sigma=1.0, q=0.5)
+        with pytest.raises(ValueError):
+            QGGMRFPrior(sigma=1.0, q=2.5)
+
+    @given(
+        d=st.floats(min_value=-10, max_value=10),
+        q=st.floats(min_value=1.0, max_value=2.0),
+        t=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_surrogate_majorizes(self, d, q, t):
+        """The symmetric-bound surrogate lies above the potential everywhere.
+
+        For current difference ``d``, the surrogate is
+        ``b~ u^2 + c`` with ``b~ = rho'(d)/(2d)`` and touches at ``u = d``;
+        majorization is the property ICD's monotone descent rests on.
+        """
+        p = QGGMRFPrior(sigma=1.0, q=q, T=t)
+        btilde = p.influence_ratio(np.array([d]))[0]
+        c = p.potential(np.array([d]))[0] - btilde * d * d
+        u = np.linspace(-12, 12, 97)
+        surrogate = btilde * u * u + c
+        assert np.all(surrogate >= p.potential(u) - 1e-9)
+
+    @given(d=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=80, deadline=None)
+    def test_influence_ratio_nonincreasing(self, d):
+        p = QGGMRFPrior(sigma=1.0, q=1.2, T=1.0)
+        a = p.influence_ratio(np.array([d]))[0]
+        b = p.influence_ratio(np.array([d + 0.5]))[0]
+        assert b <= a + 1e-12
+
+
+class TestNeighborhood:
+    def test_weights_sum_to_one(self):
+        nb = Neighborhood(8)
+        assert nb.weights.sum() == pytest.approx(1.0)
+
+    def test_interior_voxel_has_8_neighbors(self):
+        nb = Neighborhood(5)
+        j = 2 * 5 + 2
+        assert np.all(nb.indices[j] >= 0)
+
+    def test_corner_voxel_has_3_neighbors(self):
+        nb = Neighborhood(5)
+        assert (nb.indices[0] >= 0).sum() == 3
+
+    def test_edge_voxel_has_5_neighbors(self):
+        nb = Neighborhood(5)
+        j = 0 * 5 + 2  # top edge, not corner
+        assert (nb.indices[j] >= 0).sum() == 5
+
+    def test_symmetry(self):
+        """If k is a neighbor of j, then j is a neighbor of k."""
+        nb = Neighborhood(6)
+        for j in range(36):
+            for k in nb.indices[j]:
+                if k >= 0:
+                    assert j in nb.indices[k]
+
+    def test_neighbor_values(self):
+        nb = Neighborhood(4)
+        x = np.arange(16.0)
+        vals, wts = nb.neighbor_values(x, 5)  # interior at (1,1)
+        assert vals.size == 8
+        assert wts.size == 8
+        assert set(vals) == {0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 9.0, 10.0}
+
+    def test_pair_differences_count(self):
+        """4-offset pair enumeration counts each unordered pair exactly once."""
+        n = 5
+        nb = Neighborhood(n)
+        diffs, wts = nb.pair_differences(np.zeros((n, n)))
+        # side pairs: 2*n*(n-1); diagonal pairs: 2*(n-1)^2
+        expected = 2 * n * (n - 1) + 2 * (n - 1) ** 2
+        assert diffs.size == expected
+
+    def test_pair_differences_uniform_image(self):
+        nb = Neighborhood(6)
+        diffs, _ = nb.pair_differences(np.full((6, 6), 3.7))
+        assert np.all(diffs == 0)

@@ -1,0 +1,65 @@
+"""Tests for the SuperVoxel selection schedule (Alg. 2/3 lines 4-9 / 17-22)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SVSelector
+
+
+class TestSVSelector:
+    def test_first_iteration_selects_all(self):
+        sel = SVSelector(20, 0.25)
+        chosen = sel.select(1, rng=0)
+        assert sorted(chosen) == list(range(20))
+
+    def test_fraction_count(self):
+        assert SVSelector(100, 0.20).count() == 20
+        assert SVSelector(100, 0.25).count() == 25
+        assert SVSelector(3, 0.1).count() == 1  # at least one
+
+    def test_even_iteration_picks_top_by_update_amount(self):
+        sel = SVSelector(10, 0.2)
+        for i in range(10):
+            sel.record_update(i, float(i))
+        chosen = set(sel.select(2, rng=0))
+        assert chosen == {8, 9}
+
+    def test_unvisited_svs_rank_first(self):
+        """SVs never updated carry infinite staleness and win top-k."""
+        sel = SVSelector(10, 0.2)
+        for i in range(8):
+            sel.record_update(i, 100.0)
+        chosen = set(sel.select(2, rng=0))
+        assert chosen == {8, 9}
+
+    def test_odd_iteration_random_subset(self):
+        sel = SVSelector(40, 0.25)
+        a = set(sel.select(3, rng=1))
+        b = set(sel.select(3, rng=2))
+        assert len(a) == 10
+        assert len(b) == 10
+        assert a != b  # overwhelmingly likely
+
+    def test_random_subset_without_replacement(self):
+        sel = SVSelector(12, 0.5)
+        chosen = sel.select(5, rng=0)
+        assert len(chosen) == len(set(chosen))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SVSelector(0, 0.2)
+        with pytest.raises(ValueError):
+            SVSelector(10, 1.5)
+        with pytest.raises(ValueError):
+            SVSelector(10, 0.2).select(0)
+
+    def test_every_sv_eventually_selected(self):
+        """Over many odd (random) iterations, coverage is complete."""
+        sel = SVSelector(30, 0.2)
+        rng = np.random.default_rng(0)
+        seen = set()
+        for it in range(3, 200, 2):
+            seen.update(int(s) for s in sel.select(it, rng=rng))
+        assert seen == set(range(30))

@@ -1,0 +1,141 @@
+"""Tests for SuperVoxels, SVBs, and checkerboard grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SuperVoxelGrid
+
+
+@pytest.fixture(scope="module")
+def grid(system32):
+    return SuperVoxelGrid(system32, sv_side=8, overlap=1)
+
+
+class TestGridStructure:
+    def test_tile_count(self, grid, geom32):
+        assert grid.shape == (4, 4)
+        assert grid.n_svs == 16
+
+    def test_all_voxels_covered(self, grid, geom32):
+        covered = np.zeros(geom32.n_voxels, dtype=bool)
+        for sv in grid.svs:
+            covered[sv.voxels] = True
+        assert covered.all()
+
+    def test_overlap_shares_boundary_voxels(self, system32):
+        with_overlap = SuperVoxelGrid(system32, sv_side=8, overlap=1)
+        without = SuperVoxelGrid(system32, sv_side=8, overlap=0)
+        n_with = sum(sv.n_voxels for sv in with_overlap.svs)
+        n_without = sum(sv.n_voxels for sv in without.svs)
+        assert n_without == system32.geometry.n_voxels  # exact partition
+        assert n_with > n_without  # shared boundaries double-count
+
+    def test_invalid_parameters(self, system32):
+        with pytest.raises(ValueError):
+            SuperVoxelGrid(system32, sv_side=0)
+        with pytest.raises(ValueError):
+            SuperVoxelGrid(system32, sv_side=4, overlap=4)
+        with pytest.raises(ValueError):
+            SuperVoxelGrid(system32, sv_side=4, overlap=-1)
+
+    def test_uneven_tiling(self, system32):
+        grid = SuperVoxelGrid(system32, sv_side=7, overlap=0)
+        assert grid.shape == (5, 5)
+        covered = np.zeros(system32.geometry.n_voxels, dtype=bool)
+        for sv in grid.svs:
+            covered[sv.voxels] = True
+        assert covered.all()
+
+
+class TestBands:
+    def test_band_contains_all_member_footprints(self, grid, system32, geom32):
+        """Every stored A entry of every member falls inside the SV's band."""
+        n_chan = geom32.n_channels
+        for sv in grid.svs[:4]:
+            for j in sv.voxels[::7]:
+                rows, _ = system32.column(int(j))
+                views = rows // n_chan
+                chans = rows % n_chan
+                assert np.all(chans >= sv.band_lo[views])
+                assert np.all(chans < sv.band_lo[views] + sv.width)
+
+    def test_svb_indices_consistent(self, grid, geom32):
+        """Member footprint indices address valid SVB cells mapping back to
+        the right global sinogram positions."""
+        sv = grid.svs[5]
+        for m in range(0, sv.n_voxels, 11):
+            idx = sv.member_footprint(m)
+            assert np.all(idx >= 0)
+            assert np.all(idx < sv.svb_cells)
+            # Round-trip through the gather map.
+            assert np.all(sv.gather_idx[idx] >= 0)
+
+    def test_band_width_reasonable(self, grid):
+        for sv in grid.svs:
+            assert 1 <= sv.width <= grid.geometry.n_channels
+
+
+class TestExtractWriteback:
+    def test_extract_roundtrip(self, grid, geom32, rng):
+        sino = rng.random(geom32.n_views * geom32.n_channels)
+        sv = grid.svs[0]
+        svb = sv.extract(sino)
+        valid = sv.gather_idx >= 0
+        np.testing.assert_array_equal(svb[valid], sino[sv.gather_idx[valid]])
+        assert np.all(svb[~valid] == 0)
+
+    def test_writeback_applies_delta(self, grid, geom32, rng):
+        sino = rng.random(geom32.n_views * geom32.n_channels)
+        sv = grid.svs[3]
+        orig = sv.extract(sino)
+        new = orig.copy()
+        new += 0.5  # uniform delta on the whole SVB
+        target = sino.copy()
+        sv.accumulate_delta(new, orig, target)
+        valid_idx = sv.gather_idx[sv.gather_idx >= 0]
+        np.testing.assert_allclose(target[valid_idx], sino[valid_idx] + 0.5)
+        untouched = np.setdiff1d(np.arange(sino.size), valid_idx)
+        np.testing.assert_array_equal(target[untouched], sino[untouched])
+
+    def test_writeback_zero_delta_is_noop(self, grid, geom32, rng):
+        sino = rng.random(geom32.n_views * geom32.n_channels)
+        sv = grid.svs[2]
+        svb = sv.extract(sino)
+        target = sino.copy()
+        sv.accumulate_delta(svb, svb.copy(), target)
+        np.testing.assert_array_equal(target, sino)
+
+
+class TestCheckerboard:
+    def test_four_groups_partition(self, grid):
+        groups = grid.checkerboard_groups()
+        assert len(groups) == 4
+        all_ids = sorted(i for g in groups for i in g)
+        assert all_ids == list(range(grid.n_svs))
+
+    def test_same_group_svs_share_no_voxels(self, grid):
+        """The correctness property §3.2 needs: concurrent SVs never share
+        (boundary) voxels."""
+        groups = grid.checkerboard_groups()
+        for group in groups:
+            seen = {}
+            for sv_id in group:
+                vox = set(grid.svs[sv_id].voxels.tolist())
+                for other_id, other_vox in seen.items():
+                    assert not (vox & other_vox), (sv_id, other_id)
+                seen[sv_id] = vox
+
+    def test_same_group_svs_not_adjacent(self, grid):
+        groups = grid.checkerboard_groups()
+        adjacency = set(grid.adjacent_pairs())
+        adjacency |= {(b, a) for a, b in adjacency}
+        for group in groups:
+            for a in group:
+                for b in group:
+                    if a != b:
+                        assert (a, b) not in adjacency
+
+    def test_mean_svb_cells_positive(self, grid):
+        assert grid.mean_svb_cells() > 0

@@ -1,0 +1,63 @@
+"""Property-based tests over SuperVoxel grid construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SuperVoxelGrid
+
+
+@given(
+    sv_side=st.integers(min_value=3, max_value=16),
+    overlap=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=8, deadline=None)
+def test_grid_invariants(system32, sv_side, overlap):
+    """For any legal tiling: full coverage, valid bands, valid checkerboard."""
+    if overlap >= sv_side:
+        return
+    grid = SuperVoxelGrid(system32, sv_side, overlap=overlap)
+    geometry = system32.geometry
+
+    # 1. Coverage: every voxel belongs to at least one SV.
+    covered = np.zeros(geometry.n_voxels, dtype=bool)
+    for sv in grid.svs:
+        covered[sv.voxels] = True
+    assert covered.all()
+
+    # 2. Band containment: every footprint entry of a sampled member falls
+    # inside its SV's rectangular SVB.
+    for sv in grid.svs[:: max(1, grid.n_svs // 4)]:
+        for m in range(0, sv.n_voxels, max(1, sv.n_voxels // 3)):
+            idx = sv.member_footprint(m)
+            assert np.all(idx >= 0)
+            assert np.all(idx < sv.svb_cells)
+
+    # 3. Checkerboard: 4 groups partitioning the SVs; same-group SVs share
+    # no voxels (the §3.2 correctness requirement) when overlap < side.
+    groups = grid.checkerboard_groups()
+    assert sorted(i for g in groups for i in g) == list(range(grid.n_svs))
+    if sv_side > 2 * overlap:
+        for group in groups:
+            seen: set[int] = set()
+            for sv_id in group:
+                vox = set(grid.svs[sv_id].voxels.tolist())
+                assert not (vox & seen)
+                seen |= vox
+
+
+@given(sv_side=st.integers(min_value=3, max_value=16))
+@settings(max_examples=6, deadline=None)
+def test_extract_writeback_roundtrip_any_side(system32, sv_side):
+    """extract + zero-delta writeback is an exact no-op for any tiling."""
+    grid = SuperVoxelGrid(system32, sv_side, overlap=min(1, sv_side - 1))
+    gen = np.random.default_rng(sv_side)
+    sino = gen.random(system32.geometry.n_views * system32.geometry.n_channels)
+    sv = grid.svs[len(grid.svs) // 2]
+    svb = sv.extract(sino)
+    target = sino.copy()
+    sv.accumulate_delta(svb, svb.copy(), target)
+    np.testing.assert_array_equal(target, sino)

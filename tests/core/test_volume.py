@@ -1,0 +1,97 @@
+"""Tests for multi-slice volume reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.volume import (
+    VolumeResult,
+    ellipsoid_volume,
+    reconstruct_volume,
+    simulate_volume_scan,
+)
+
+
+@pytest.fixture(scope="module")
+def volume_scans(system32):
+    vol = ellipsoid_volume(3, 32, seed=1)
+    scans = simulate_volume_scan(vol, system32, dose=1e5, seed=2)
+    return vol, scans
+
+
+class TestEllipsoidVolume:
+    def test_shape(self):
+        vol = ellipsoid_volume(5, 16)
+        assert vol.shape == (5, 16, 16)
+
+    def test_cross_sections_shrink_toward_ends(self):
+        vol = ellipsoid_volume(7, 32)
+        mid_area = np.count_nonzero(vol[3])
+        end_area = np.count_nonzero(vol[0])
+        assert end_area < mid_area
+
+    def test_insert_moves(self):
+        vol = ellipsoid_volume(4, 32)
+        hot0 = np.argwhere(vol[1] > 1.5 * 0.02)
+        hot1 = np.argwhere(vol[2] > 1.5 * 0.02)
+        assert hot0.size and hot1.size
+        assert not np.array_equal(hot0, hot1)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(ellipsoid_volume(3, 16, seed=4),
+                                      ellipsoid_volume(3, 16, seed=4))
+
+
+class TestSimulateVolumeScan:
+    def test_per_slice_scans(self, volume_scans, system32):
+        vol, scans = volume_scans
+        assert len(scans) == 3
+        for k, scan in enumerate(scans):
+            np.testing.assert_array_equal(scan.ground_truth, vol[k])
+
+    def test_independent_noise(self, volume_scans, system32):
+        vol, _ = volume_scans
+        scans = simulate_volume_scan(np.repeat(vol[1:2], 2, axis=0), system32, seed=5)
+        assert not np.array_equal(scans[0].sinogram, scans[1].sinogram)
+
+
+class TestReconstructVolume:
+    @pytest.mark.parametrize("method", ["gpu", "psv", "seq"])
+    def test_methods_reconstruct(self, volume_scans, system32, method):
+        vol, scans = volume_scans
+        res = reconstruct_volume(
+            scans, system32, method=method, max_equits=3, seed=0, track_cost=False
+        )
+        assert isinstance(res, VolumeResult)
+        assert res.volume.shape == vol.shape
+        assert res.n_slices == 3
+        assert res.total_equits >= 3 * 2.9
+        # Reconstructions resemble the truth slice by slice.
+        for k in range(3):
+            err = np.sqrt(np.mean((res.volume[k] - vol[k]) ** 2))
+            assert err < 0.5 * vol.max()
+
+    def test_progress_callback(self, volume_scans, system32):
+        _, scans = volume_scans
+        seen = []
+        reconstruct_volume(
+            scans, system32, method="seq", max_equits=1, seed=0, track_cost=False,
+            progress=lambda k, r: seen.append(k),
+        )
+        assert seen == [0, 1, 2]
+
+    def test_empty_scans_rejected(self, system32):
+        with pytest.raises(ValueError):
+            reconstruct_volume([], system32)
+
+    def test_unknown_method(self, volume_scans, system32):
+        _, scans = volume_scans
+        with pytest.raises(ValueError):
+            reconstruct_volume(scans, system32, method="helical")
+
+    def test_mean_equits(self, volume_scans, system32):
+        _, scans = volume_scans
+        res = reconstruct_volume(scans, system32, method="seq", max_equits=2, seed=0,
+                                 track_cost=False)
+        assert res.mean_equits == pytest.approx(res.total_equits / 3)

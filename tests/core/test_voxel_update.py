@@ -1,0 +1,143 @@
+"""Tests for the Alg. 1 voxel update and the SliceUpdater."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Neighborhood,
+    QuadraticPrior,
+    SliceUpdater,
+    compute_thetas,
+    map_cost,
+    solve_surrogate,
+)
+from repro.core.icd import default_prior
+from repro.ct import noiseless_scan
+
+
+@pytest.fixture(scope="module")
+def updater(system32, scan32):
+    nb = Neighborhood(system32.geometry.n_pixels)
+    return SliceUpdater(system32, scan32, default_prior(), nb)
+
+
+class TestComputeThetas:
+    def test_matches_definition(self, rng):
+        e = rng.random(10)
+        w = rng.random(10)
+        a = rng.random(10)
+        t1, t2 = compute_thetas(e, w, a)
+        assert t1 == pytest.approx(-np.sum(w * a * e))
+        assert t2 == pytest.approx(np.sum(w * a * a))
+
+    def test_theta2_nonnegative(self, rng):
+        for _ in range(5):
+            _, t2 = compute_thetas(rng.standard_normal(8), rng.random(8), rng.standard_normal(8))
+            assert t2 >= 0
+
+
+class TestSolveSurrogate:
+    def test_no_prior_is_newton_step(self):
+        """With no neighbors the update is v - theta1/theta2."""
+        u = solve_surrogate(2.0, -1.5, 3.0, np.array([]), np.array([]), QuadraticPrior(1.0))
+        assert u == pytest.approx(2.0 + 1.5 / 3.0)
+
+    def test_positivity_clips(self):
+        u = solve_surrogate(0.5, 10.0, 1.0, np.array([]), np.array([]), QuadraticPrior(1.0))
+        assert u == 0.0
+
+    def test_positivity_off(self):
+        u = solve_surrogate(
+            0.5, 10.0, 1.0, np.array([]), np.array([]), QuadraticPrior(1.0), positivity=False
+        )
+        assert u < 0
+
+    def test_pure_prior_pulls_to_neighbor_mean(self):
+        """theta1 = theta2 = 0: the minimiser is the weighted neighbor mean."""
+        nbv = np.array([1.0, 3.0])
+        wts = np.array([0.5, 0.5])
+        u = solve_surrogate(10.0, 0.0, 0.0, nbv, wts, QuadraticPrior(1.0))
+        assert u == pytest.approx(2.0)
+
+    def test_degenerate_returns_input(self):
+        u = solve_surrogate(1.23, 0.0, 0.0, np.array([]), np.array([]), QuadraticPrior(1.0))
+        assert u == 1.23
+
+
+class TestSliceUpdater:
+    def test_theta2_matches_bruteforce(self, updater, system32, scan32, geom32):
+        w = scan32.weights.ravel()
+        for j in [0, geom32.voxel_index(16, 16), geom32.n_voxels - 1]:
+            rows, vals = system32.column(j)
+            expected = np.sum(w[rows] * vals.astype(np.float64) ** 2)
+            assert updater.theta2[j] == pytest.approx(expected, rel=1e-10)
+
+    def test_update_voxel_reduces_cost(self, updater, system32, scan32, geom32):
+        nb = updater.neighborhood
+        prior = updater.prior
+        x = np.full(geom32.n_voxels, 0.01)
+        e = updater.initial_error(x)
+        indices = system32.matrix.indices
+        img0 = x.reshape(geom32.n_pixels, -1).copy()
+        before = map_cost(img0, scan32, system32, prior, nb)
+        for j in [5, 100, geom32.voxel_index(16, 16)]:
+            sl = updater.column_slice(j)
+            updater.update_voxel(j, x, e, indices[sl])
+        after = map_cost(x.reshape(geom32.n_pixels, -1), scan32, system32, prior, nb)
+        assert after <= before + 1e-12
+
+    def test_error_maintained_exactly(self, updater, system32, scan32, geom32, rng):
+        x = rng.random(geom32.n_voxels) * 0.02
+        e = updater.initial_error(x)
+        indices = system32.matrix.indices
+        for j in rng.choice(geom32.n_voxels, 30, replace=False):
+            sl = updater.column_slice(int(j))
+            updater.update_voxel(int(j), x, e, indices[sl])
+        e_true = (scan32.sinogram - system32.forward(x)).ravel()
+        np.testing.assert_allclose(e, e_true, atol=1e-9)
+
+    def test_propose_apply_equals_update(self, updater, system32, geom32, rng):
+        x1 = rng.random(geom32.n_voxels) * 0.02
+        x2 = x1.copy()
+        e1 = updater.initial_error(x1)
+        e2 = e1.copy()
+        indices = system32.matrix.indices
+        j = geom32.voxel_index(10, 10)
+        sl = updater.column_slice(j)
+        updater.update_voxel(j, x1, e1, indices[sl])
+        u = updater.propose_update(j, x2, e2, indices[sl])
+        updater.apply_update(j, u, x2, e2, indices[sl])
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(e1, e2)
+
+    def test_zero_skip_detection(self, system32, geom32):
+        scan = noiseless_scan(np.zeros((geom32.n_pixels, geom32.n_pixels)), system32)
+        nb = Neighborhood(geom32.n_pixels)
+        upd = SliceUpdater(system32, scan, default_prior(), nb)
+        x = np.zeros(geom32.n_voxels)
+        assert upd.should_skip(0, x)
+        x[geom32.voxel_index(5, 5)] = 1.0
+        assert not upd.should_skip(geom32.voxel_index(5, 5), x)
+        # Neighbors of the hot voxel must not be skipped either.
+        assert not upd.should_skip(geom32.voxel_index(5, 6), x)
+        # A far-away voxel still skips.
+        assert upd.should_skip(geom32.voxel_index(20, 20), x)
+
+    def test_fixed_point_of_converged_image(self, system32, geom32):
+        """On noiseless data with positivity off and the true image, updates barely move."""
+        from repro.ct import shepp_logan
+
+        img = shepp_logan(geom32.n_pixels)
+        scan = noiseless_scan(img, system32)
+        nb = Neighborhood(geom32.n_pixels)
+        # Extremely weak prior: the data term fixes the image.
+        upd = SliceUpdater(system32, scan, QuadraticPrior(sigma=1e6), nb)
+        x = img.ravel().copy()
+        e = upd.initial_error(x)
+        indices = system32.matrix.indices
+        j = geom32.voxel_index(16, 16)
+        sl = upd.column_slice(j)
+        u = upd.propose_update(j, x, e, indices[sl])
+        assert u == pytest.approx(x[j], abs=1e-8)

@@ -1,0 +1,68 @@
+"""Tests for the filtered-backprojection baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ct import fbp_reconstruct, ramp_filter, scaled_geometry, shepp_logan
+from repro.ct.fbp import fbp_flop_estimate, mbir_flop_estimate
+from repro.ct.phantoms import disk_phantom
+
+
+class TestRampFilter:
+    def test_dc_suppressed(self):
+        # The band-limited ramp has a small (not exactly zero) DC term.
+        resp = ramp_filter(64, 1.0)
+        assert abs(resp[0]) < 0.01 * abs(resp).max()
+
+    def test_high_frequencies_amplified(self):
+        resp = ramp_filter(64, 1.0)
+        assert abs(resp[64]) > abs(resp[4])
+
+    def test_hamming_tapers_highs(self):
+        ramp = ramp_filter(64, 1.0, window="ramp")
+        ham = ramp_filter(64, 1.0, window="hamming")
+        assert abs(ham[64]) < abs(ramp[64])
+
+    def test_unknown_window(self):
+        with pytest.raises(ValueError):
+            ramp_filter(64, 1.0, window="blackman")
+
+
+class TestFBPReconstruct:
+    def test_recovers_disk_value(self):
+        g = scaled_geometry(64)
+        img = disk_phantom(64, radius=0.6, value=1.0)
+        from repro.ct import forward_project
+
+        recon = fbp_reconstruct(forward_project(img, g), g)
+        # Interior of the disk should reconstruct near 1.0.
+        assert recon[32, 32] == pytest.approx(1.0, abs=0.15)
+
+    def test_shepp_logan_quality(self, geom32, system32, phantom32):
+        recon = fbp_reconstruct(system32.forward(phantom32), geom32)
+        rel_rmse = np.sqrt(np.mean((recon - phantom32) ** 2)) / phantom32.max()
+        assert rel_rmse < 0.3  # coarse resolution, but clearly a reconstruction
+
+    def test_clipping(self, geom32, system32, phantom32):
+        recon = fbp_reconstruct(system32.forward(phantom32), geom32)
+        assert np.all(recon >= 0)
+        unclipped = fbp_reconstruct(
+            system32.forward(phantom32), geom32, clip_negative=False
+        )
+        assert unclipped.min() < 0  # streaks exist before clipping
+
+    def test_shape_check(self, geom32):
+        with pytest.raises(ValueError):
+            fbp_reconstruct(np.zeros((3, 3)), geom32)
+
+
+class TestFlopEstimates:
+    def test_mbir_orders_of_magnitude_more_than_fbp(self):
+        """The paper's motivation: MBIR needs up to ~100x FBP's compute."""
+        from repro.ct import paper_geometry
+
+        g = paper_geometry()
+        ratio = mbir_flop_estimate(g, equits=40.0) / fbp_flop_estimate(g)
+        assert 20 < ratio < 500

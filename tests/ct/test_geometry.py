@@ -1,0 +1,95 @@
+"""Tests for the parallel-beam geometry description."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ct import ParallelBeamGeometry, paper_geometry, scaled_geometry
+
+
+class TestConstruction:
+    def test_paper_geometry_matches_section_5_1(self):
+        g = paper_geometry()
+        assert g.n_pixels == 512
+        assert g.n_views == 720
+        assert g.n_channels == 1024
+
+    def test_angles_cover_half_rotation(self):
+        g = scaled_geometry(32)
+        assert g.angles[0] == 0.0
+        assert g.angles[-1] < np.pi
+        assert np.allclose(np.diff(g.angles), np.pi / g.n_views)
+
+    def test_default_spacing_covers_diagonal(self):
+        g = ParallelBeamGeometry(n_pixels=64, n_views=90, n_channels=128)
+        detector_extent = g.n_channels * g.channel_spacing
+        diagonal = np.sqrt(2.0) * g.n_pixels * g.pixel_size
+        assert detector_extent == pytest.approx(diagonal)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            ParallelBeamGeometry(n_pixels=0, n_views=10, n_channels=10)
+        with pytest.raises(ValueError):
+            ParallelBeamGeometry(n_pixels=10, n_views=-1, n_channels=10)
+
+    def test_angles_read_only(self):
+        g = scaled_geometry(16)
+        with pytest.raises(ValueError):
+            g.angles[0] = 1.0
+
+
+class TestCoordinates:
+    def test_pixel_centers_symmetric(self):
+        g = scaled_geometry(16)
+        x, y = g.pixel_centers()
+        assert x.shape == (16, 16)
+        # Centres are symmetric about the iso-centre.
+        assert np.allclose(x + x[:, ::-1], 0.0)
+        assert np.allclose(y + y[::-1, :], 0.0)
+
+    def test_voxel_index_roundtrip(self):
+        g = scaled_geometry(16)
+        assert g.voxel_index(3, 5) == 3 * 16 + 5
+
+    def test_center_pixel_projects_to_center(self):
+        g = ParallelBeamGeometry(n_pixels=17, n_views=8, n_channels=32)
+        x, y = g.pixel_centers()
+        cx, cy = x[8, 8], y[8, 8]
+        for view in range(g.n_views):
+            t = g.detector_coordinate(np.array(cx), np.array(cy), view)
+            assert abs(t) < 1e-12
+
+    def test_channel_of_inverse_of_lo_edge(self):
+        g = scaled_geometry(16)
+        for c in [0, 5, 31]:
+            t = g.channel_lo_edge(c) + 0.5 * g.channel_spacing
+            assert g.channel_of(np.array([t]))[0] == c
+
+
+class TestFootprint:
+    def test_footprint_span_bounds(self):
+        g = scaled_geometry(32)
+        spans = g.footprint_span(np.arange(g.n_views))
+        # Between h (axis-aligned) and sqrt(2)h (45 degrees).
+        assert np.all(spans >= g.pixel_size - 1e-12)
+        assert np.all(spans <= np.sqrt(2.0) * g.pixel_size + 1e-12)
+
+    def test_widths_at_zero_angle(self):
+        g = scaled_geometry(32)
+        w1, w2 = g.footprint_widths(0)
+        assert w1 == pytest.approx(g.pixel_size)
+        assert w2 == pytest.approx(0.0, abs=1e-12)
+
+    def test_mean_channels_positive(self):
+        g = scaled_geometry(32)
+        assert 1.0 < g.mean_channels_per_view() < 10.0
+
+    @given(n=st.integers(min_value=8, max_value=128))
+    @settings(max_examples=20, deadline=None)
+    def test_scaled_geometry_ratios(self, n):
+        g = scaled_geometry(n)
+        assert g.n_channels == 2 * n
+        assert g.n_views >= 8

@@ -1,0 +1,106 @@
+"""Tests for the raw-counts preprocessing pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import icd_reconstruct, rmse_hu
+from repro.ct.preprocess import (
+    counts_from_scan,
+    detect_bad_channels,
+    interpolate_bad_channels,
+    preprocess_counts,
+)
+
+
+class TestCountsFromScan:
+    def test_counts_shape_and_range(self, system32, phantom32, geom32):
+        counts, dose = counts_from_scan(phantom32, system32, dose=1e4, seed=0)
+        assert counts.shape == geom32.sinogram_shape
+        assert np.all(counts >= 0)
+        assert counts.max() <= 3 * dose  # Poisson around <= dose
+
+    def test_attenuation_reduces_counts(self, system32, phantom32):
+        counts, dose = counts_from_scan(phantom32, system32, dose=1e5, seed=0)
+        p = system32.forward(phantom32)
+        dense = p > np.percentile(p, 95)
+        thin = p <= np.percentile(p, 5)
+        assert counts[dense].mean() < counts[thin].mean()
+
+    def test_dead_channels_zero(self, system32, phantom32):
+        counts, _ = counts_from_scan(phantom32, system32, dead_channels=[3, 40], seed=0)
+        assert np.all(counts[:, 3] == 0)
+        assert np.all(counts[:, 40] == 0)
+
+
+class TestBadChannelHandling:
+    def test_detection(self, system32, phantom32):
+        counts, _ = counts_from_scan(phantom32, system32, dead_channels=[7, 21], seed=0)
+        bad = detect_bad_channels(counts)
+        assert set(bad.tolist()) == {7, 21}
+
+    def test_no_false_positives_on_clean_data(self, system32, phantom32):
+        counts, _ = counts_from_scan(phantom32, system32, dose=1e5, seed=0)
+        assert detect_bad_channels(counts).size == 0
+
+    def test_interpolation_fills_smoothly(self, rng):
+        sino = np.tile(np.linspace(0, 1, 16), (4, 1))
+        filled = interpolate_bad_channels(sino.copy(), np.array([5]))
+        assert filled[0, 5] == pytest.approx((sino[0, 4] + sino[0, 6]) / 2)
+
+    def test_all_bad_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate_bad_channels(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+
+class TestPreprocessCounts:
+    def test_roundtrip_matches_simulate_scan_statistics(self, system32, phantom32, geom32):
+        """Preprocessing real counts yields a scan whose reconstruction is
+        close to the phantom — the full pipeline works end to end."""
+        counts, dose = counts_from_scan(phantom32, system32, dose=1e5, seed=1)
+        scan = preprocess_counts(counts, dose, geom32)
+        res = icd_reconstruct(scan, system32, max_equits=8, seed=0, track_cost=False)
+        golden = icd_reconstruct(
+            scan, system32, max_equits=20, seed=1, track_cost=False
+        ).image
+        assert rmse_hu(res.image, golden) < 30.0
+
+    def test_weights_unit_mean(self, system32, phantom32, geom32):
+        counts, dose = counts_from_scan(phantom32, system32, seed=0)
+        scan = preprocess_counts(counts, dose, geom32)
+        assert scan.weights.mean() == pytest.approx(1.0)
+
+    def test_dead_channels_interpolated(self, system32, phantom32, geom32):
+        counts, dose = counts_from_scan(phantom32, system32, dead_channels=[10], seed=0)
+        scan = preprocess_counts(counts, dose, geom32, handle_bad="interpolate")
+        # The dead channel's sinogram values are plausible (not the log of
+        # the epsilon floor) and its weights are small but nonzero.
+        assert np.all(np.isfinite(scan.sinogram[:, 10]))
+        assert scan.sinogram[:, 10].max() < 0.9 * (-np.log(0.5 / dose))
+        assert np.all(scan.weights[:, 10] > 0)
+        assert scan.weights[:, 10].mean() < scan.weights.mean()
+
+    def test_dead_channels_zero_weighted(self, system32, phantom32, geom32):
+        counts, dose = counts_from_scan(phantom32, system32, dead_channels=[10], seed=0)
+        scan = preprocess_counts(counts, dose, geom32, handle_bad="zero-weight")
+        assert np.all(scan.weights[:, 10] == 0)
+
+    def test_reconstruction_survives_dead_channels(self, system32, phantom32, geom32):
+        counts, dose = counts_from_scan(
+            phantom32, system32, dose=1e5, dead_channels=[15, 16], seed=2
+        )
+        scan = preprocess_counts(counts, dose, geom32, handle_bad="zero-weight")
+        res = icd_reconstruct(scan, system32, max_equits=6, seed=0, track_cost=False)
+        assert rmse_hu(res.image, phantom32) < 400  # no blow-up from the hole
+
+    def test_validation(self, geom32):
+        with pytest.raises(ValueError):
+            preprocess_counts(np.zeros((2, 2)), 1e4, geom32)
+        bad = np.zeros(geom32.sinogram_shape)
+        bad[0, 0] = -1
+        with pytest.raises(ValueError):
+            preprocess_counts(bad, 1e4, geom32)
+        with pytest.raises(ValueError):
+            preprocess_counts(np.zeros(geom32.sinogram_shape), 1e4, geom32,
+                              handle_bad="drop")

@@ -1,0 +1,75 @@
+"""Tests for scan containers and the transmission noise model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ct import ScanData, noiseless_scan, simulate_scan
+
+
+class TestScanData:
+    def test_shape_validation(self, geom32):
+        good = np.zeros(geom32.sinogram_shape)
+        with pytest.raises(ValueError):
+            ScanData(geometry=geom32, sinogram=good[:, :-1], weights=good)
+        with pytest.raises(ValueError):
+            ScanData(geometry=geom32, sinogram=good, weights=good[:-1])
+
+    def test_negative_weights_rejected(self, geom32):
+        sino = np.zeros(geom32.sinogram_shape)
+        w = np.ones_like(sino)
+        w[0, 0] = -1
+        with pytest.raises(ValueError):
+            ScanData(geometry=geom32, sinogram=sino, weights=w)
+
+    def test_n_measurements(self, scan32, geom32):
+        assert scan32.n_measurements == geom32.n_views * geom32.n_channels
+
+
+class TestNoiselessScan:
+    def test_sinogram_equals_forward_projection(self, system32, phantom32):
+        scan = noiseless_scan(phantom32, system32)
+        np.testing.assert_allclose(scan.sinogram, system32.forward(phantom32))
+
+    def test_unit_weights(self, system32, phantom32):
+        scan = noiseless_scan(phantom32, system32)
+        assert np.all(scan.weights == 1.0)
+
+    def test_ground_truth_stored(self, system32, phantom32):
+        scan = noiseless_scan(phantom32, system32)
+        np.testing.assert_array_equal(scan.ground_truth, phantom32)
+
+
+class TestSimulateScan:
+    def test_deterministic_for_seed(self, system32, phantom32):
+        a = simulate_scan(phantom32, system32, seed=3)
+        b = simulate_scan(phantom32, system32, seed=3)
+        np.testing.assert_array_equal(a.sinogram, b.sinogram)
+
+    def test_noise_scales_with_dose(self, system32, phantom32):
+        clean = system32.forward(phantom32)
+        low = simulate_scan(phantom32, system32, dose=1e3, seed=1)
+        high = simulate_scan(phantom32, system32, dose=1e7, seed=1)
+        assert np.std(low.sinogram - clean) > 10 * np.std(high.sinogram - clean)
+
+    def test_weights_track_attenuation(self, system32, phantom32):
+        """Heavily attenuated rays (large line integrals) get low weight."""
+        scan = simulate_scan(phantom32, system32, dose=1e5, seed=0)
+        p = system32.forward(phantom32)
+        dense = p > np.percentile(p, 95)
+        thin = p <= np.percentile(p, 5)  # includes the p == 0 air rays
+        assert scan.weights[dense].mean() < scan.weights[thin].mean()
+
+    def test_normalized_weights_mean_one(self, system32, phantom32):
+        scan = simulate_scan(phantom32, system32, seed=0)
+        assert scan.weights.mean() == pytest.approx(1.0)
+
+    def test_unnormalized_weights_equal_counts(self, system32, phantom32):
+        scan = simulate_scan(phantom32, system32, dose=1e4, seed=0, normalize_weights=False)
+        p = system32.forward(phantom32)
+        np.testing.assert_allclose(scan.weights, 1e4 * np.exp(-p))
+
+    def test_invalid_dose(self, system32, phantom32):
+        with pytest.raises(ValueError):
+            simulate_scan(phantom32, system32, dose=0.0)

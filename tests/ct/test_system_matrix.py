@@ -1,0 +1,135 @@
+"""Tests for the trapezoid-footprint system matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ct import build_system_matrix, disk_phantom, scaled_geometry, trapezoid_cdf
+
+
+class TestTrapezoidCDF:
+    def test_total_mass_is_pixel_area(self):
+        h = 1.0
+        for w1, w2 in [(1.0, 0.0), (0.7, 0.7), (0.9, 0.3)]:
+            lo = trapezoid_cdf(np.array([-10.0]), w1, w2, h)[0]
+            hi = trapezoid_cdf(np.array([10.0]), w1, w2, h)[0]
+            assert hi - lo == pytest.approx(h * h)
+
+    def test_symmetry(self):
+        t = np.linspace(-2, 2, 41)
+        f = trapezoid_cdf(t, 0.8, 0.4, 1.0)
+        # F(t) + F(-t) = total mass.
+        assert np.allclose(f + f[::-1], 1.0)
+
+    def test_degenerate_box(self):
+        # theta = 0: a pure box of width h and height h.
+        t = np.array([-0.5, -0.25, 0.0, 0.25, 0.5])
+        f = trapezoid_cdf(t, 1.0, 0.0, 1.0)
+        expected = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        np.testing.assert_allclose(f, expected, atol=1e-12)
+
+    def test_peak_at_45_degrees(self):
+        # Chord through the centre at 45 deg has length sqrt(2) h.
+        w = 1.0 / np.sqrt(2.0)
+        eps = 1e-6
+        density = (
+            trapezoid_cdf(np.array([eps]), w, w, 1.0)[0]
+            - trapezoid_cdf(np.array([-eps]), w, w, 1.0)[0]
+        ) / (2 * eps)
+        assert density == pytest.approx(np.sqrt(2.0), rel=1e-3)
+
+    def test_zero_widths_raise(self):
+        with pytest.raises(ValueError):
+            trapezoid_cdf(np.array([0.0]), 0.0, 0.0, 1.0)
+
+    @given(
+        w1=st.floats(min_value=0.01, max_value=1.0),
+        w2=st.floats(min_value=0.0, max_value=1.0),
+        t=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_nondecreasing(self, w1, w2, t):
+        f1 = trapezoid_cdf(np.array([t]), w1, w2, 1.0)[0]
+        f2 = trapezoid_cdf(np.array([t + 0.1]), w1, w2, 1.0)[0]
+        assert f2 >= f1 - 1e-12
+
+
+class TestSystemMatrix:
+    def test_shape(self, system32, geom32):
+        assert system32.matrix.shape == (
+            geom32.n_views * geom32.n_channels,
+            geom32.n_voxels,
+        )
+
+    def test_entries_nonnegative(self, system32):
+        assert np.all(system32.matrix.data >= 0)
+
+    def test_every_voxel_measured(self, system32):
+        # The detector covers the image diagonal, so no empty columns.
+        assert np.all(system32.column_nnz() > 0)
+
+    def test_adjointness(self, system32, geom32, rng):
+        x = rng.random(geom32.n_voxels)
+        y = rng.random(geom32.n_views * geom32.n_channels)
+        lhs = (system32.matrix @ x) @ y
+        rhs = x @ (system32.matrix.T @ y)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_view_sum_preserves_mass(self, system32, geom32):
+        """Each view's row block integrates the image: sum A x * spacing = sum x * h^2."""
+        img = disk_phantom(geom32.n_pixels, radius=0.7, value=1.0)
+        sino = system32.forward(img)
+        mass = img.sum() * geom32.pixel_size**2
+        view_sums = sino.sum(axis=1) * geom32.channel_spacing
+        np.testing.assert_allclose(view_sums, mass, rtol=1e-6)
+
+    def test_forward_shape_checks(self, system32):
+        with pytest.raises(ValueError):
+            system32.forward(np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            system32.back(np.zeros(7))
+
+    def test_column_views_decomposition(self, system32, geom32):
+        j = geom32.voxel_index(16, 16)
+        views, chans, vals = system32.column_views(j)
+        rows, vals2 = system32.column(j)
+        np.testing.assert_array_equal(views * geom32.n_channels + chans, rows)
+        np.testing.assert_array_equal(vals, vals2)
+        # Sorted view-major.
+        assert np.all(np.diff(views) >= 0)
+
+    def test_per_view_ranges_contiguous(self, system32, geom32):
+        j = geom32.voxel_index(10, 20)
+        starts, counts = system32.per_view_ranges(j)
+        views, chans, _ = system32.column_views(j)
+        for v in range(geom32.n_views):
+            mask = views == v
+            assert counts[v] == mask.sum()
+            if counts[v]:
+                run = chans[mask]
+                assert run[0] == starts[v]
+                assert np.all(np.diff(run) == 1)  # contiguous run
+
+    def test_center_voxel_footprint_center_channel(self, geom32, system32):
+        # Centre-adjacent voxel's trace stays near the central channels.
+        n = geom32.n_pixels
+        j = geom32.voxel_index(n // 2, n // 2)
+        _, chans, _ = system32.column_views(j)
+        center = geom32.n_channels / 2
+        assert np.all(np.abs(chans - center) < 4)
+
+    def test_float32_storage(self, system32):
+        assert system32.matrix.data.dtype == np.float32
+
+    def test_nnz_matches_analytic_estimate(self, geom32, system32):
+        analytic = geom32.n_views * geom32.mean_channels_per_view()
+        measured = system32.nnz / geom32.n_voxels
+        assert measured == pytest.approx(analytic, rel=0.1)
+
+    def test_tolerance_drops_small_entries(self, geom32):
+        loose = build_system_matrix(geom32, tol=1e-3)
+        tight = build_system_matrix(geom32, tol=1e-12)
+        assert loose.nnz <= tight.nnz

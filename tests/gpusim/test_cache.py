@@ -1,0 +1,93 @@
+"""Tests for the set-associative LRU cache model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import SetAssociativeCache, hit_rate_for_trace
+
+
+class TestConstruction:
+    def test_geometry(self):
+        c = SetAssociativeCache(1024, line_bytes=32, ways=4)
+        assert c.n_sets == 8
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, line_bytes=32, ways=4)  # not a multiple
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, line_bytes=32, ways=4)  # zero sets
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, line_bytes=32, ways=4)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(31)  # same line
+        assert not c.access(32)  # next line
+
+    def test_working_set_within_capacity_all_hits(self):
+        c = SetAssociativeCache(4096, line_bytes=32, ways=8)
+        addrs = np.arange(0, 2048, 32)
+        c.access_trace(addrs)  # warm
+        rate = c.access_trace(addrs)
+        assert rate == 1.0
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        c = SetAssociativeCache(1024, line_bytes=32, ways=4)
+        addrs = np.arange(0, 8 * 1024, 32)  # 8x capacity, cyclic
+        c.access_trace(addrs)
+        rate = c.access_trace(addrs)
+        assert rate == 0.0  # LRU + cyclic sweep = pathological
+
+    def test_lru_eviction_order(self):
+        c = SetAssociativeCache(4 * 32, line_bytes=32, ways=4)  # one set, 4 ways
+        for i in range(4):
+            c.access(i * 32)
+        c.access(0)  # touch line 0 so it is MRU
+        c.access(4 * 32)  # evicts LRU = line 1
+        assert c.access(0)
+        assert not c.access(1 * 32)
+
+    def test_reset_stats_keeps_contents(self):
+        c = SetAssociativeCache(1024, line_bytes=32, ways=4)
+        c.access(0)
+        c.reset_stats()
+        assert c.accesses == 0
+        assert c.access(0)  # still cached
+
+    def test_hit_rate_empty(self):
+        c = SetAssociativeCache(1024)
+        assert c.hit_rate == 0.0
+
+
+class TestHitRateForTrace:
+    def test_repeated_small_trace(self):
+        addrs = np.tile(np.arange(0, 256, 32), 10)
+        rate = hit_rate_for_trace(addrs, size_bytes=1024)
+        assert rate > 0.85  # only the 8 cold misses
+
+    def test_smaller_entries_higher_hit_rate(self, rng):
+        """The Table 2 mechanism: a 1-byte stream has 4x the lines' reuse."""
+        n_entries = 4096
+        order = rng.integers(0, n_entries, size=8192)
+        float_stream = order * 4
+        char_stream = order * 1
+        size = 2048
+        assert hit_rate_for_trace(char_stream, size_bytes=size) > hit_rate_for_trace(
+            float_stream, size_bytes=size
+        )
+
+    @given(
+        size_kb=st.sampled_from([1, 4, 24]),
+        n=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rate_bounded(self, size_kb, n):
+        addrs = (np.arange(n) * 64) % (64 * 1024)
+        rate = hit_rate_for_trace(addrs, size_bytes=size_kb * 1024)
+        assert 0.0 <= rate <= 1.0

@@ -1,0 +1,91 @@
+"""Tests for the CPU timing model (PSV-ICD and sequential ICD baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.psv_icd import psv_icd_reconstruct
+from repro.ct import paper_geometry
+from repro.gpusim import CPUTimingModel, GPUTimingModel
+from repro.gpusim.kernel import GPUKernelConfig
+from repro.core.gpu_icd import GPUICDParams
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CPUTimingModel(paper_geometry())
+
+
+class TestAnchors:
+    def test_psv_equit_time_near_paper(self, model):
+        """Table 1: PSV-ICD time per equit = 0.41 s at SV side 13."""
+        t = model.psv_equit_time(13)
+        assert 0.3 < t < 0.5
+
+    def test_sequential_equit_time(self, model):
+        """Table 1 implies sequential ICD ~= 249 s total, tens of s/equit."""
+        t = model.sequential_equit_time()
+        assert 15 < t < 40
+
+    def test_per_equit_ratio_matches_table1(self, model):
+        """Table 1: PSV-ICD time/equit is 5.86x the GPU's 0.07 s."""
+        gpu = GPUTimingModel(paper_geometry())
+        ratio = model.psv_equit_time(13) / gpu.equit_time(
+            GPUICDParams(), GPUKernelConfig(), zero_skip_fraction=0.4
+        )
+        assert 4.0 < ratio < 8.0
+
+
+class TestStructure:
+    def test_sv_side_u_shape(self, model):
+        """Per-SV overheads push small sides up; L2 overflow pushes large."""
+        t_small = model.psv_equit_time(3)
+        t_tuned = model.psv_equit_time(13)
+        t_large = model.psv_equit_time(45)
+        assert t_small > t_tuned
+        assert t_large > t_tuned
+
+    def test_core_scaling_sublinear_but_real(self, model):
+        t16 = model.psv_equit_time(13, n_cores=16)
+        t1 = model.psv_equit_time(13, n_cores=1)
+        assert 8 < t1 / t16 <= 16.5
+
+    def test_zero_skip_adds_visit_cost(self, model):
+        base = model.psv_equit_time(13)
+        with_skip = model.psv_equit_time(13, zero_skip_fraction=0.5)
+        assert with_skip > base
+
+    def test_sequential_slower_than_psv_per_core(self, model):
+        """SVB locality + SIMD: sequential per-equit far exceeds PSV x cores."""
+        assert model.sequential_equit_time() > 16 * model.psv_equit_time(13)
+
+    def test_invalid(self, model):
+        with pytest.raises(ValueError):
+            model.psv_equit_time(0)
+        with pytest.raises(ValueError):
+            model.reconstruction_time(-1, 13)
+
+
+class TestTraceTiming:
+    def test_run_time_from_trace(self, scan32, system32):
+        res = psv_icd_reconstruct(
+            scan32, system32, sv_side=8, n_cores=4, max_equits=2, seed=0, track_cost=False
+        )
+        scaled = CPUTimingModel(system32.geometry)
+        t = scaled.run_time_from_trace(res.trace)
+        assert t > 0
+        res2 = psv_icd_reconstruct(
+            scan32, system32, sv_side=8, n_cores=4, max_equits=4, seed=0, track_cost=False
+        )
+        assert scaled.run_time_from_trace(res2.trace) > t
+
+    def test_more_cores_less_trace_time(self, scan32, system32):
+        scaled = CPUTimingModel(system32.geometry)
+        times = {}
+        for cores in (1, 8):
+            res = psv_icd_reconstruct(
+                scan32, system32, sv_side=8, n_cores=cores, max_equits=2, seed=0,
+                track_cost=False,
+            )
+            times[cores] = scaled.run_time_from_trace(res.trace)
+        assert times[8] < times[1]

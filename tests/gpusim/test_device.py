@@ -1,0 +1,62 @@
+"""Sanity tests for the hardware specifications (§5.1's system setup)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import TITAN_X, XEON_E5_2670_X2
+
+
+class TestTitanXSpec:
+    def test_paper_reported_shape(self):
+        """§2.3/§5.1: 24 SMMs x 128 cores at 1127 MHz, 12 GB."""
+        assert TITAN_X.n_smm == 24
+        assert TITAN_X.cores_per_smm == 128
+        assert TITAN_X.total_cores == 3072
+        assert TITAN_X.clock_hz == pytest.approx(1127e6)
+        assert TITAN_X.dram_bytes == 12 * 1024**3
+
+    def test_cache_sizes(self):
+        """§2.3: 24 KB unified L1/texture per SMM, 3 MB shared L2."""
+        assert TITAN_X.unified_l1_tex_bytes == 24 * 1024
+        assert TITAN_X.l2_bytes == 3 * 1024 * 1024
+        assert TITAN_X.shared_mem_per_smm == 96 * 1024
+
+    def test_peak_bandwidth(self):
+        """§5.3: maximum device memory bandwidth 336 GB/s."""
+        assert TITAN_X.dram_peak_bw == pytest.approx(336e9)
+
+    def test_resident_thread_capacity(self):
+        assert TITAN_X.max_resident_threads == 24 * 2048
+
+    def test_peak_flops_order(self):
+        # ~6.9 SP TFLOPs for the Maxwell Titan X.
+        assert 6e12 < TITAN_X.peak_flops < 8e12
+
+    def test_bandwidth_hierarchy_ordering(self):
+        """Closer levels must be faster — the premise of the whole paper."""
+        assert TITAN_X.dram_peak_bw < TITAN_X.l2_peak_bw
+        assert TITAN_X.l2_peak_bw < TITAN_X.shared_peak_bw
+
+
+class TestXeonSpec:
+    def test_paper_reported_shape(self):
+        """§5.1: two E5-2670 sockets, 16 cores, 2.6 GHz."""
+        assert XEON_E5_2670_X2.n_cores == 16
+        assert XEON_E5_2670_X2.n_sockets == 2
+        assert XEON_E5_2670_X2.clock_hz == pytest.approx(2.6e9)
+
+    def test_private_l2_fits_svb(self):
+        """§3.1's premise: 'each CPU core has its own private L2 cache,
+        SVBs for each SV can fit in it' at the tuned side 13."""
+        from repro.ct import paper_geometry
+        from repro.gpusim import analytic_svb_stats
+
+        svb = analytic_svb_stats(paper_geometry(), 13)
+        assert svb.rect_bytes(4) < XEON_E5_2670_X2.l2_bytes
+
+    def test_iso_power_platforms(self):
+        """§5.1: the CPU's 230 W TDP is comparable to the GPU's 250 W —
+        encoded here simply as both specs describing the paper's testbed."""
+        assert "Xeon" in XEON_E5_2670_X2.name
+        assert "Titan X" in TITAN_X.name

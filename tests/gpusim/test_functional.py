@@ -1,0 +1,170 @@
+"""Tests for the functional GPU kernel emulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Neighborhood, SliceUpdater, SuperVoxelGrid, process_supervoxel
+from repro.core.icd import default_prior, initial_image
+from repro.gpusim.functional import EmulatedBlock, MBIRKernelEmulator, SyncError, _tree_reduce
+
+
+@pytest.fixture(scope="module")
+def setup(system32, scan32):
+    nb = Neighborhood(system32.geometry.n_pixels)
+    updater = SliceUpdater(system32, scan32, default_prior(), nb)
+    grid = SuperVoxelGrid(system32, sv_side=8, overlap=1)
+    return updater, grid.svs[5]
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 13, 32, 64, 100])
+    def test_matches_sum(self, n, rng):
+        vals = rng.standard_normal(n)
+        shared = vals.copy()
+        _tree_reduce(shared, 0, n)
+        assert shared[0] == pytest.approx(vals.sum(), rel=1e-12, abs=1e-12)
+
+    def test_with_base_offset(self, rng):
+        vals = rng.standard_normal(16)
+        shared = np.concatenate([np.full(4, 99.0), vals])
+        _tree_reduce(shared, 4, 16)
+        assert shared[4] == pytest.approx(vals.sum())
+        np.testing.assert_array_equal(shared[:4], 99.0)
+
+
+class TestEmulatedBlock:
+    def test_lockstep_barriers(self):
+        block = EmulatedBlock(n_threads=4, shared_words=4)
+        log = []
+
+        def program(tid, blk):
+            blk.shared[tid] = tid
+            log.append(("pre", tid))
+            yield
+            log.append(("post", tid))
+
+        block.run(program)
+        # All pre entries come before all post entries.
+        phases = [p for p, _ in log]
+        assert phases == ["pre"] * 4 + ["post"] * 4
+
+    def test_divergent_barrier_detected(self):
+        block = EmulatedBlock(n_threads=4, shared_words=4)
+
+        def program(tid, blk):
+            if tid < 2:
+                yield  # only half the block syncs
+            return
+            yield  # pragma: no cover
+
+        with pytest.raises(SyncError):
+            block.run(program)
+
+    def test_shared_memory_visible_across_threads(self):
+        block = EmulatedBlock(n_threads=8, shared_words=8)
+        out = {}
+
+        def program(tid, blk):
+            blk.shared[tid] = float(tid)
+            yield
+            if tid == 0:
+                out["total"] = float(blk.shared.sum())
+
+        block.run(program)
+        assert out["total"] == sum(range(8))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            EmulatedBlock(n_threads=0, shared_words=4)
+
+
+class TestMBIRKernelEmulator:
+    def test_matches_reference_update_sequential(self, setup, scan32):
+        """The emulated kernel (threads + reduction + atomics) produces the
+        exact same image and SVB as the vectorised reference update."""
+        updater, sv = setup
+        order = np.arange(sv.n_voxels)
+
+        # Reference path: direct SliceUpdater updates in the same order.
+        x_ref = initial_image(scan32).ravel().copy()
+        svb_ref = sv.extract(updater.initial_error(x_ref))
+        for m in order:
+            j = int(sv.voxels[m])
+            updater.update_voxel(j, x_ref, svb_ref, sv.member_footprint(int(m)))
+
+        # Emulated path.
+        x_emu = initial_image(scan32).ravel().copy()
+        svb_emu = sv.extract(updater.initial_error(x_emu))
+        emu = MBIRKernelEmulator(updater, sv, threads_per_block=16, threadblocks=1)
+        updates = emu.run(x_emu, svb_emu, order=order)
+
+        assert updates == sv.n_voxels
+        np.testing.assert_allclose(x_emu, x_ref, rtol=0, atol=1e-10)
+        np.testing.assert_allclose(svb_emu, svb_ref, rtol=0, atol=1e-9)
+
+    def test_matches_reference_stale_waves(self, setup, scan32):
+        """Intra-SV concurrency: emulator with k blocks == explicit
+        propose-then-apply waves of width k."""
+        updater, sv = setup
+        order = np.arange(sv.n_voxels)
+        k = 4
+
+        x_ref = initial_image(scan32).ravel().copy()
+        svb_ref = sv.extract(updater.initial_error(x_ref))
+        for start in range(0, order.size, k):
+            wave = order[start : start + k]
+            proposals = [
+                (int(m), updater.propose_update(
+                    int(sv.voxels[m]), x_ref, svb_ref, sv.member_footprint(int(m))
+                ))
+                for m in wave
+            ]
+            for m, u in proposals:
+                updater.apply_update(
+                    int(sv.voxels[m]), u, x_ref, svb_ref, sv.member_footprint(m)
+                )
+
+        x_emu = initial_image(scan32).ravel().copy()
+        svb_emu = sv.extract(updater.initial_error(x_emu))
+        emu = MBIRKernelEmulator(updater, sv, threads_per_block=8, threadblocks=k)
+        emu.run(x_emu, svb_emu, order=order)
+
+        np.testing.assert_allclose(x_emu, x_ref, rtol=0, atol=1e-10)
+        np.testing.assert_allclose(svb_emu, svb_ref, rtol=0, atol=1e-9)
+
+    @pytest.mark.parametrize("threads", [1, 3, 16, 33])
+    def test_thread_count_invariance(self, setup, scan32, threads):
+        """The partial-sum decomposition must be exact for any thread count
+        (including awkward non-powers-of-two)."""
+        updater, sv = setup
+        order = np.arange(min(6, sv.n_voxels))
+        results = []
+        for t in (threads, 64):
+            x = initial_image(scan32).ravel().copy()
+            svb = sv.extract(updater.initial_error(x))
+            emu = MBIRKernelEmulator(updater, sv, threads_per_block=t)
+            emu.run(x, svb, order=order)
+            results.append((x.copy(), svb.copy()))
+        np.testing.assert_allclose(results[0][0], results[1][0], atol=1e-10)
+        np.testing.assert_allclose(results[0][1], results[1][1], atol=1e-9)
+
+    def test_zero_skip(self, setup, system32):
+        from repro.ct import noiseless_scan
+
+        updater, sv = setup
+        n = system32.geometry.n_pixels
+        scan = noiseless_scan(np.zeros((n, n)), system32)
+        upd = SliceUpdater(system32, scan, default_prior(), updater.neighborhood)
+        x = np.zeros(system32.geometry.n_voxels)
+        svb = sv.extract(upd.initial_error(x))
+        emu = MBIRKernelEmulator(upd, sv, threads_per_block=8)
+        assert emu.run(x, svb, zero_skip=True) == 0
+
+    def test_invalid_params(self, setup):
+        updater, sv = setup
+        with pytest.raises(ValueError):
+            MBIRKernelEmulator(updater, sv, threads_per_block=0)
+        with pytest.raises(ValueError):
+            MBIRKernelEmulator(updater, sv, threadblocks=0)

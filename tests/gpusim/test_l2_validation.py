@@ -1,0 +1,108 @@
+"""Cross-validation: the analytic L2 working-set model vs the cache simulator.
+
+The timing model's central L2 mechanism — SVB hit rate =
+``min(1, capacity / working_set)`` — is a closed form.  These tests replay
+*actual* SVB access streams (round-robin over concurrently active SVBs, as
+interleaved threadblocks would issue them) through the set-associative LRU
+simulator and check that the closed form tracks the simulated behaviour in
+both regimes: full residency when the active set fits, and thrash when it
+does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SuperVoxelGrid
+from repro.gpusim import SetAssociativeCache
+
+
+def interleaved_svb_stream(svs, *, rounds: int, bytes_per_cell: int = 4,
+                           chunk_cells: int = 32) -> np.ndarray:
+    """Addresses of concurrent blocks walking their SVBs round-robin.
+
+    Each SV's SVB occupies a disjoint region; readers consume it in
+    ``chunk_cells`` strides, interleaving across SVs (what concurrently
+    resident threadblocks do to the L2).
+    """
+    bases = []
+    offset = 0
+    for sv in svs:
+        bases.append(offset)
+        offset += sv.svb_cells * bytes_per_cell
+    streams = []
+    max_cells = max(sv.svb_cells for sv in svs)
+    for _ in range(rounds):
+        # One round = every SVB read in full, chunk-interleaved across SVs
+        # (so the reuse distance of a cell is the whole active working set).
+        for start in range(0, max_cells, chunk_cells):
+            for base, sv in zip(bases, svs):
+                stop = min(start + chunk_cells, sv.svb_cells)
+                if start < stop:
+                    # One access per 32-byte line: rates then measure
+                    # *temporal reuse*, not intra-line spatial hits.
+                    cells = np.arange(start, stop, 32 // bytes_per_cell)
+                    streams.append(base + cells * bytes_per_cell)
+    return np.concatenate(streams)
+
+
+@pytest.fixture(scope="module")
+def grid(system32):
+    return SuperVoxelGrid(system32, sv_side=8, overlap=1)
+
+
+class TestWorkingSetRegimes:
+    def test_fitting_working_set_high_hit_rate(self, grid):
+        """Active SVBs well under capacity: steady-state hits dominate."""
+        svs = grid.svs[:2]
+        total_bytes = sum(sv.svb_bytes(4) for sv in svs)
+        capacity = (4 * total_bytes) // 256 * 256
+        cache = SetAssociativeCache(capacity, line_bytes=32, ways=8)
+        stream = interleaved_svb_stream(svs, rounds=5)
+        cache.access_trace(stream)  # warm
+        cache.reset_stats()
+        rate = cache.access_trace(interleaved_svb_stream(svs, rounds=5))
+        assert rate > 0.95
+
+    def test_oversized_working_set_thrashes(self, grid):
+        """Active SVBs far beyond capacity: reuse distance kills the hits."""
+        svs = grid.svs[:8]
+        total_bytes = sum(sv.svb_bytes(4) for sv in svs)
+        cache = SetAssociativeCache(
+            max(total_bytes // 16 // 256 * 256, 2048), line_bytes=32, ways=8
+        )
+        stream = interleaved_svb_stream(svs, rounds=3)
+        cache.access_trace(stream)
+        cache.reset_stats()
+        rate = cache.access_trace(interleaved_svb_stream(svs, rounds=3))
+        # The analytic model predicts ~capacity/working_set; in the cyclic
+        # worst case LRU does even worse.  Either way: a low rate.
+        assert rate < 0.3
+
+    def test_hit_rate_decreases_with_active_set(self, grid):
+        """More concurrently active SVBs at fixed capacity => lower hit rate
+        — the mechanism behind Fig. 7b's threadblocks-per-SV benefit."""
+        capacity = 2 * grid.svs[0].svb_bytes(4) // 256 * 256
+        rates = []
+        for n_active in (1, 4, 8):
+            svs = grid.svs[:n_active]
+            cache = SetAssociativeCache(capacity, line_bytes=32, ways=8)
+            cache.access_trace(interleaved_svb_stream(svs, rounds=3))
+            cache.reset_stats()
+            rates.append(cache.access_trace(interleaved_svb_stream(svs, rounds=3)))
+        assert rates[0] > rates[1] >= rates[2]
+
+    def test_analytic_form_brackets_simulation_when_fitting(self, grid):
+        """When the set fits, both the closed form and the simulation say
+        (nearly) all hits."""
+        svs = grid.svs[:3]
+        working = sum(sv.svb_bytes(4) for sv in svs)
+        capacity = 4 * working // 256 * 256
+        analytic = min(1.0, capacity / working)
+        cache = SetAssociativeCache(capacity, line_bytes=32, ways=8)
+        cache.access_trace(interleaved_svb_stream(svs, rounds=3))
+        cache.reset_stats()
+        simulated = cache.access_trace(interleaved_svb_stream(svs, rounds=3))
+        assert analytic == 1.0
+        assert simulated > 0.9

@@ -1,0 +1,129 @@
+"""Tests for the bandwidth-accounting primitives and the atomics model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (
+    TITAN_X,
+    TrafficVector,
+    achieved_bandwidth,
+    atomic_writeback_time,
+    expected_conflict_degree,
+    latency_hiding_factor,
+    memory_time,
+)
+
+
+class TestTrafficVector:
+    def test_addition(self):
+        a = TrafficVector(dram_bytes=1, l2_bytes=2, flops=3)
+        b = TrafficVector(dram_bytes=10, tex_bytes=5)
+        c = a + b
+        assert c.dram_bytes == 11
+        assert c.l2_bytes == 2
+        assert c.tex_bytes == 5
+        assert c.flops == 3
+
+    def test_scaling(self):
+        v = TrafficVector(l2_bytes=4, atomic_ops=2).scaled(3)
+        assert v.l2_bytes == 12
+        assert v.atomic_ops == 6
+
+
+class TestLatencyHiding:
+    def test_saturated(self):
+        assert latency_hiding_factor(1536, 1536, 0.7) == 1.0
+
+    def test_linear_below_saturation(self):
+        f = latency_hiding_factor(100, 1000, 0.5)
+        assert f == pytest.approx(0.2)
+
+    def test_zero_warps(self):
+        assert latency_hiding_factor(0, 1000, 0.5) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            latency_hiding_factor(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            latency_hiding_factor(-1, 10, 0.5)
+
+    @given(
+        warps=st.floats(min_value=0, max_value=2000),
+        sat=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_and_bounded(self, warps, sat):
+        f = latency_hiding_factor(warps, 1536, sat)
+        assert 0.0 <= f <= 1.0
+        assert latency_hiding_factor(warps + 10, 1536, sat) >= f
+
+
+class TestAchievedBandwidth:
+    def test_full(self):
+        assert achieved_bandwidth(100e9, 1.0, 1.0) == 100e9
+
+    def test_derated(self):
+        assert achieved_bandwidth(100e9, 0.5, 0.5) == 25e9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            achieved_bandwidth(0, 1.0)
+        with pytest.raises(ValueError):
+            achieved_bandwidth(1e9, 1.0, 1.5)
+
+
+class TestMemoryTime:
+    def test_bottleneck_identification(self):
+        t = memory_time(
+            TrafficVector(dram_bytes=336e9, l2_bytes=1e6),
+            TITAN_X,
+            hiding_factor=1.0,
+            l2_access_efficiency=0.5,
+        )
+        assert t["dram"] == pytest.approx(1.0)
+        assert t["dram"] > t["l2"]
+
+    def test_hiding_scales_all_levels(self):
+        traffic = TrafficVector(dram_bytes=1e9, l2_bytes=1e9, tex_bytes=1e9, shared_bytes=1e9)
+        full = memory_time(traffic, TITAN_X, hiding_factor=1.0, l2_access_efficiency=1.0)
+        half = memory_time(traffic, TITAN_X, hiding_factor=0.5, l2_access_efficiency=1.0)
+        for k in ("dram", "l2", "tex", "shared"):
+            assert half[k] == pytest.approx(2 * full[k])
+
+
+class TestAtomics:
+    def test_no_concurrency_degree_zero(self):
+        assert expected_conflict_degree(100, 0, 1000) == 0.0
+
+    def test_single_writer_degree_one(self):
+        assert expected_conflict_degree(100, 1, 1000) == 1.0
+
+    def test_degree_grows_with_relative_band_size(self):
+        d_small = expected_conflict_degree(10, 32, 1000)
+        d_large = expected_conflict_degree(100, 32, 1000)
+        assert d_large > d_small
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_conflict_degree(-1, 2, 100)
+        with pytest.raises(ValueError):
+            expected_conflict_degree(1, 2, 0)
+
+    def test_writeback_time_scales_with_ops(self):
+        t1 = atomic_writeback_time(1e6, 1.0, TITAN_X)
+        t2 = atomic_writeback_time(2e6, 1.0, TITAN_X)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_conflicts_add_time(self):
+        base = atomic_writeback_time(1e6, 1.0, TITAN_X)
+        contended = atomic_writeback_time(1e6, 4.0, TITAN_X)
+        assert contended > base
+
+    def test_writeback_invalid(self):
+        with pytest.raises(ValueError):
+            atomic_writeback_time(-1, 1.0, TITAN_X)
+        with pytest.raises(ValueError):
+            atomic_writeback_time(1, -0.1, TITAN_X)

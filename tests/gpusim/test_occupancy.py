@@ -1,0 +1,88 @@
+"""Tests for the occupancy calculator — including the paper's §4.2 story."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import TITAN_X, GPUKernelConfig, occupancy
+
+
+class TestPaperScenarios:
+    def test_natural_build_is_register_limited(self):
+        """44 registers/thread restricts occupancy well below 100% (§4.2)."""
+        cfg = GPUKernelConfig(shared_spill=False)
+        occ = occupancy(TITAN_X, 256, cfg.registers_per_thread,
+                        cfg.shared_bytes_per_block(256))
+        assert occ.limiter == "registers"
+        assert occ.occupancy < 0.7
+
+    def test_spilled_build_reaches_full_occupancy(self):
+        """32 registers + shared-memory spill reaches 100% (§4.2)."""
+        cfg = GPUKernelConfig(shared_spill=True)
+        occ = occupancy(TITAN_X, 256, cfg.registers_per_thread,
+                        cfg.shared_bytes_per_block(256))
+        assert occ.occupancy == 1.0
+
+    def test_64_threads_full_occupancy(self):
+        """§5.4: 'with 64 threads per block ... the occupancy is 100%'."""
+        occ = occupancy(TITAN_X, 64, 32, GPUKernelConfig().shared_bytes_per_block(64))
+        assert occ.occupancy == 1.0
+
+    def test_384_threads_lower_occupancy(self):
+        """§5.4: '384 threads per threadblock result in lower occupancy'."""
+        occ = occupancy(TITAN_X, 384, 32, GPUKernelConfig().shared_bytes_per_block(384))
+        assert occ.occupancy < 1.0
+
+
+class TestMechanics:
+    def test_threads_limited(self):
+        occ = occupancy(TITAN_X, 1024, 16, 0)
+        assert occ.blocks_per_smm == 2
+        assert occ.occupancy == 1.0
+
+    def test_shared_memory_limited(self):
+        occ = occupancy(TITAN_X, 64, 16, 40 * 1024)
+        assert occ.limiter == "shared_memory"
+        assert occ.blocks_per_smm == 2
+
+    def test_block_limit(self):
+        occ = occupancy(TITAN_X, 32, 16, 0)
+        assert occ.blocks_per_smm == TITAN_X.max_blocks_per_smm
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(TITAN_X, 2048, 16, 0)
+
+    def test_oversized_shared_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(TITAN_X, 256, 16, 64 * 1024)
+
+    def test_register_file_exhaustion_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(TITAN_X, 1024, 255, 0)
+
+    def test_percent_property(self):
+        occ = occupancy(TITAN_X, 256, 32, 0)
+        assert occ.percent == pytest.approx(100.0 * occ.occupancy)
+
+    @given(
+        threads=st.sampled_from([32, 64, 128, 192, 256, 512, 1024]),
+        regs=st.integers(min_value=16, max_value=64),
+        shared=st.sampled_from([0, 1024, 4096, 12288]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, threads, regs, shared):
+        occ = occupancy(TITAN_X, threads, regs, shared)
+        assert 1 <= occ.blocks_per_smm <= TITAN_X.max_blocks_per_smm
+        assert occ.threads_per_smm == occ.blocks_per_smm * threads
+        assert 0 < occ.occupancy <= 1.0
+        # More registers can never increase occupancy (a configuration that
+        # no longer launches at all counts as zero).
+        try:
+            occ_more = occupancy(TITAN_X, threads, regs + 32, shared)
+        except ValueError:
+            occ_more = None
+        if occ_more is not None:
+            assert occ_more.occupancy <= occ.occupancy

@@ -1,0 +1,79 @@
+"""Tests for the makespan scheduling models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import imbalance_factor, simulate_dynamic, simulate_static
+
+
+class TestSimulateDynamic:
+    def test_uniform_tasks_perfectly_balanced(self):
+        r = simulate_dynamic(np.ones(40), 8)
+        assert r.makespan == pytest.approx(5.0)
+        assert r.efficiency == pytest.approx(1.0)
+
+    def test_single_worker_serial(self):
+        r = simulate_dynamic(np.array([1.0, 2.0, 3.0]), 1)
+        assert r.makespan == 6.0
+
+    def test_empty(self):
+        r = simulate_dynamic(np.array([]), 4)
+        assert r.makespan == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_dynamic(np.array([1.0, -1.0]), 2)
+
+    def test_more_workers_never_slower(self, rng):
+        costs = rng.random(100)
+        m4 = simulate_dynamic(costs, 4).makespan
+        m8 = simulate_dynamic(costs, 8).makespan
+        assert m8 <= m4 + 1e-12
+
+
+class TestSimulateStatic:
+    def test_round_robin_assignment(self):
+        # Worker 0 gets tasks 0 and 2 (cost 5), worker 1 gets task 1 (cost 1).
+        r = simulate_static(np.array([4.0, 1.0, 1.0]), 2)
+        assert r.makespan == 5.0
+
+    def test_bimodal_tasks_imbalance(self, rng):
+        """Zero-skipping's bimodal costs hurt static scheduling more (§3.2)."""
+        costs = np.where(rng.random(2000) < 0.4, 0.05, 1.0)
+        f_static = imbalance_factor(costs, 32, dynamic=False)
+        f_dynamic = imbalance_factor(costs, 32, dynamic=True)
+        assert f_dynamic <= f_static
+        assert f_dynamic < 1.1
+
+
+class TestInvariants:
+    @given(
+        n_tasks=st.integers(min_value=1, max_value=200),
+        n_workers=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, n_tasks, n_workers, seed):
+        costs = np.random.default_rng(seed).random(n_tasks)
+        for sim in (simulate_dynamic, simulate_static):
+            r = sim(costs, n_workers)
+            # Makespan can never beat the averaging bound or the longest task.
+            assert r.makespan >= r.ideal - 1e-12
+            assert r.makespan >= costs.max() - 1e-12
+            assert r.makespan <= costs.sum() + 1e-12
+            assert 0 < r.efficiency <= 1.0 + 1e-12
+
+    @given(
+        n_tasks=st.integers(min_value=1, max_value=100),
+        n_workers=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_greedy_2_approximation(self, n_tasks, n_workers):
+        costs = np.random.default_rng(n_tasks * 31 + n_workers).random(n_tasks)
+        r = simulate_dynamic(costs, n_workers)
+        lower = max(r.ideal, costs.max())
+        assert r.makespan <= 2.0 * lower + 1e-9  # classic list-scheduling bound

@@ -1,0 +1,93 @@
+"""Tests for the warp-coalescing transaction model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import coalescing_efficiency, transactions_for_warp, warp_traffic
+
+
+class TestTransactionsForWarp:
+    def test_fully_coalesced_float_load(self):
+        """32 consecutive 4-byte words = 128 bytes = 4 sectors."""
+        addrs = np.arange(32) * 4
+        assert transactions_for_warp(addrs) == 4
+
+    def test_fully_scattered(self):
+        """Each lane in its own sector: 32 transactions."""
+        addrs = np.arange(32) * 256
+        assert transactions_for_warp(addrs) == 32
+
+    def test_broadcast_single_sector(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert transactions_for_warp(addrs) == 1
+
+    def test_misaligned_adds_sector(self):
+        addrs = np.arange(32) * 4 + 16  # straddles one extra sector
+        assert transactions_for_warp(addrs) == 5
+
+    def test_empty(self):
+        assert transactions_for_warp(np.array([], dtype=np.int64)) == 0
+
+    @given(shift=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=32, deadline=None)
+    def test_coalesced_bounds(self, shift):
+        addrs = np.arange(32) * 4 + shift
+        assert 4 <= transactions_for_warp(addrs) <= 5
+
+
+class TestWarpTraffic:
+    def test_traffic_is_transactions_times_sector(self):
+        idx = np.arange(64)
+        n, b = warp_traffic(idx, element_bytes=4)
+        assert b == n * 32
+        assert n == 8  # two warps x 4 sectors
+
+    def test_negative_lanes_inactive(self):
+        idx = np.concatenate([np.arange(16), np.full(16, -1)])
+        n, _ = warp_traffic(idx, element_bytes=4)
+        assert n == 2  # 16 floats = 64 bytes = 2 sectors
+
+    def test_scattered_trace_costs_more(self, rng):
+        linear = np.arange(256)
+        scattered = rng.permutation(256 * 64)[:256]
+        n_lin, _ = warp_traffic(linear, element_bytes=4)
+        n_scat, _ = warp_traffic(scattered, element_bytes=4)
+        assert n_scat > 3 * n_lin
+
+    def test_wider_elements_more_traffic(self):
+        idx = np.arange(64)
+        _, b4 = warp_traffic(idx, element_bytes=4)
+        _, b8 = warp_traffic(idx, element_bytes=8)
+        assert b8 == 2 * b4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            warp_traffic(np.arange(4), element_bytes=0)
+
+
+class TestCoalescingEfficiency:
+    def test_perfect(self):
+        idx = np.arange(128)
+        assert coalescing_efficiency(idx, element_bytes=4) == pytest.approx(1.0)
+
+    def test_scattered_low(self):
+        idx = np.arange(64) * 64
+        eff = coalescing_efficiency(idx, element_bytes=4)
+        assert eff <= 0.125 + 1e-9
+
+    def test_empty_trace(self):
+        assert coalescing_efficiency(np.array([], dtype=np.int64), element_bytes=4) == 1.0
+
+    @given(stride=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_efficiency_bounded(self, stride):
+        idx = np.arange(96) * stride
+        eff = coalescing_efficiency(idx, element_bytes=4)
+        assert 0.0 < eff <= 1.0
+        # Larger strides never beat the unit-stride efficiency.
+        if stride > 1:
+            assert eff <= coalescing_efficiency(np.arange(96), element_bytes=4) + 1e-9

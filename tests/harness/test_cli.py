@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.experiment == "fig6"
+        assert args.pixels == 64
+        assert args.cases == 3
+
+    def test_all_choice(self):
+        args = build_parser().parse_args(["all", "--pixels", "32"])
+        assert args.experiment == "all"
+        assert args.pixels == 32
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestMain:
+    def test_model_only_experiment(self, capsys):
+        assert main(["fig6", "--pixels", "32", "--cases", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG6" in out
+        assert "ChunkWidth" in out
+
+    def test_fig7b(self, capsys):
+        assert main(["fig7b", "--pixels", "32", "--cases", "1"]) == 0
+        assert "ThreadblocksPerSV" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "--zero-skip", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "auto-tuned" in out
+        assert "sv_side=" in out

@@ -1,0 +1,132 @@
+"""Tests for the experiment drivers, run at miniature scale.
+
+These check that each table/figure driver produces structurally valid
+output and the headline orderings; the full-scale numbers live in the
+benchmark targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ExperimentContext,
+    run_fig5,
+    run_fig6,
+    run_fig7b,
+    run_fig7c,
+    run_fig7d,
+    run_table1,
+    run_table2,
+    scaled_gpu_params,
+    scaled_psv_side,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # Deliberately tiny: structural checks only.
+    return ExperimentContext(
+        n_pixels=32, n_cases=2, golden_equits=15, max_equits=10, stop_rmse=30.0
+    )
+
+
+class TestScaling:
+    def test_psv_side_at_paper_scale(self):
+        assert scaled_psv_side(512) == 13
+
+    def test_gpu_params_at_paper_scale(self):
+        p = scaled_gpu_params(512)
+        assert p.sv_side == 33
+        assert p.threadblocks_per_sv == 40
+        assert p.batch_size == pytest.approx(32, abs=1)  # ~32/241 of (512/33)^2 SVs
+
+    def test_small_scale_floors(self):
+        p = scaled_gpu_params(32)
+        assert p.sv_side >= 4
+        assert p.threadblocks_per_sv >= 2
+        assert p.batch_size >= 4
+
+
+class TestContext:
+    def test_caches(self, ctx):
+        case = ctx.cases[0]
+        assert ctx.scan(case) is ctx.scan(case)
+        g1 = ctx.golden(case)
+        g2 = ctx.golden(case)
+        assert g1 is g2
+
+    def test_models_on_paper_geometry(self, ctx):
+        assert ctx.gpu_model.geometry.n_pixels == 512
+        assert ctx.cpu_model.geometry.n_views == 720
+
+
+class TestTable1:
+    def test_structure_and_ordering(self, ctx):
+        res = run_table1(ctx)
+        methods = [r["method"] for r in res.rows]
+        assert methods == ["Sequential-ICD", "PSV-ICD", "GPU-ICD"]
+        seq, psv, gpu = res.rows
+        # The headline ordering of Table 1.
+        assert gpu["mean_time"] < psv["mean_time"] < seq["mean_time"]
+        assert gpu["speedup_psv"] > 1.0
+        assert psv["speedup_seq"] > 10.0
+        assert "GPU-ICD speedup over PSV-ICD" in res.format()
+
+    def test_per_case_records(self, ctx):
+        res = run_table1(ctx)
+        assert len(res.per_case) == ctx.n_cases
+        for c in res.per_case:
+            assert c["t_gpu"] < c["t_psv"] < c["t_seq"]
+
+
+class TestFig5(object):
+    def test_series_monotone_time(self, ctx):
+        res = run_fig5(ctx)
+        for series in (res.psv_series, res.gpu_series):
+            times = [t for t, _ in series]
+            assert times == sorted(times)
+            assert len(series) >= 2
+
+    def test_gpu_reaches_low_rmse_faster(self, ctx):
+        """Fig. 5's visual: at equal wall time GPU-ICD has lower RMSE."""
+        res = run_fig5(ctx)
+        psv_t = np.array([t for t, _ in res.psv_series])
+        psv_r = np.array([r for _, r in res.psv_series])
+        for t, r in res.gpu_series[1:4]:
+            # Interpolate PSV's RMSE at the GPU's timestamps.
+            r_psv = np.interp(t, psv_t, psv_r)
+            assert r <= r_psv * 1.05
+
+
+class TestModelSweeps:
+    def test_fig6_peak_at_32(self, ctx):
+        res = run_fig6(ctx)
+        assert res.best_width == 32
+        assert max(res.speedups) > 1.6
+
+    def test_table2_ordering(self, ctx):
+        res = run_table2(ctx)
+        times = [r["time"] for r in res.rows]
+        assert times == sorted(times, reverse=True)
+        # Cache-sim hit rates demonstrate the char > float mechanism.
+        sims = {r["config"]: r["sim_hit"] for r in res.rows if r["sim_hit"] is not None}
+        assert sims["(Texture, char)"] > sims["(Texture, float)"]
+
+    def test_fig7b_improves_with_tb(self, ctx):
+        res = run_fig7b(ctx)
+        assert res.equit_times[0] > 2 * min(res.equit_times)
+        assert res.best_value >= 16
+
+    def test_fig7c_256_region(self, ctx):
+        res = run_fig7c(ctx)
+        t = dict(zip(res.values, res.equit_times))
+        assert t[64] > t[256]
+        assert t[512] > t[256]
+        assert res.extra["occupancy"][256] == 1.0
+
+    def test_fig7d_small_batches_penalised(self, ctx):
+        res = run_fig7d(ctx)
+        t = dict(zip(res.values, res.equit_times))
+        assert t[2] > t[32]

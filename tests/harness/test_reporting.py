@@ -1,0 +1,49 @@
+"""Tests for the report formatting utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_markdown_table, format_table, geometric_mean
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["A", "LongHeader"], [[1, 2.5], ["xx", 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert "LongHeader" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_large_and_small_values(self):
+        out = format_table(["v"], [[12345.6], [0.00001]])
+        assert "1.23e+04" in out
+        assert "1e-05" in out
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

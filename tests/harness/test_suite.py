@@ -1,0 +1,58 @@
+"""Tests for the large-ensemble suite runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import ExperimentContext
+from repro.harness.suite import run_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    return ExperimentContext(
+        n_pixels=32, n_cases=2, golden_equits=12, max_equits=8, stop_rmse=30.0
+    )
+
+
+class TestRunSuite:
+    def test_statistics_structure(self, tiny_ctx):
+        stats = run_suite(tiny_ctx, n_cases=2)
+        assert stats.n_cases == 2
+        for m in ("seq", "psv", "gpu"):
+            assert stats.times[m].shape == (2,)
+            assert np.all(stats.times[m] > 0)
+            assert np.all(stats.equits[m] > 0)
+
+    def test_table1_orderings_hold_distributionally(self, tiny_ctx):
+        stats = run_suite(tiny_ctx, n_cases=2)
+        assert stats.geomean_speedup("seq", "psv") > 10
+        assert stats.geomean_speedup("psv", "gpu") > 1.5
+        # Every single case obeys the ordering, not just the mean.
+        assert np.all(stats.times["gpu"] < stats.times["psv"])
+        assert np.all(stats.times["psv"] < stats.times["seq"])
+
+    def test_format_output(self, tiny_ctx):
+        stats = run_suite(tiny_ctx, n_cases=2, methods=("psv", "gpu"))
+        out = stats.format()
+        assert "P50" in out
+        assert "GPU/PSV" in out or "psv" in out
+
+    def test_scan_cache(self, tiny_ctx, tmp_path):
+        run_suite(tiny_ctx, n_cases=2, methods=("psv",), cache_dir=tmp_path)
+        cached = list(tmp_path.glob("*.npz"))
+        assert len(cached) == 2
+        # Second run reuses the cache (same results).
+        a = run_suite(tiny_ctx, n_cases=2, methods=("psv",), cache_dir=tmp_path)
+        b = run_suite(tiny_ctx, n_cases=2, methods=("psv",), cache_dir=tmp_path)
+        np.testing.assert_array_equal(a.times["psv"], b.times["psv"])
+
+    def test_percentiles_ordered(self, tiny_ctx):
+        stats = run_suite(tiny_ctx, n_cases=2, methods=("gpu",))
+        p = stats.percentiles("gpu")
+        assert p[5] <= p[50] <= p[95]
+
+    def test_unknown_method(self, tiny_ctx):
+        with pytest.raises(ValueError):
+            run_suite(tiny_ctx, n_cases=1, methods=("fpga",))

@@ -1,0 +1,48 @@
+"""Tests for the synthetic test-case ensemble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ct import build_system_matrix, scaled_geometry
+from repro.harness import generate_suite, scan_for_case
+
+
+class TestGenerateSuite:
+    def test_count_and_shapes(self):
+        cases = generate_suite(6, 32, seed=0)
+        assert len(cases) == 6
+        assert all(c.image.shape == (32, 32) for c in cases)
+
+    def test_deterministic(self):
+        a = generate_suite(4, 32, seed=3)
+        b = generate_suite(4, 32, seed=3)
+        for ca, cb in zip(a, b):
+            assert ca.name == cb.name
+            np.testing.assert_array_equal(ca.image, cb.image)
+
+    def test_mix_of_kinds(self):
+        cases = generate_suite(40, 16, seed=0)
+        kinds = {c.name.split("-")[0] for c in cases}
+        assert "baggage" in kinds
+        assert "ellipses" in kinds
+
+    def test_doses_vary(self):
+        cases = generate_suite(10, 16, seed=0)
+        doses = {c.dose for c in cases}
+        assert len(doses) > 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            generate_suite(0, 32)
+
+
+class TestScanForCase:
+    def test_scan_matches_geometry(self):
+        g = scaled_geometry(32)
+        system = build_system_matrix(g)
+        case = generate_suite(1, 32, seed=1)[0]
+        scan = scan_for_case(case, system)
+        assert scan.sinogram.shape == g.sinogram_shape
+        np.testing.assert_array_equal(scan.ground_truth, case.image)

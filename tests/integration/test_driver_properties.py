@@ -1,0 +1,69 @@
+"""Property-based invariants across driver configurations.
+
+Hypothesis draws driver configurations (SV sides, concurrency widths,
+batch sizes, selection fractions, seeds) and checks the invariants every
+configuration must preserve:
+
+* ``e == y - Ax`` exactly after the run (the algebra the SVB delta
+  machinery must never break);
+* the image stays finite and non-negative (positivity);
+* equit accounting matches the recorded per-iteration updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GPUICDParams, gpu_icd_reconstruct, psv_icd_reconstruct
+
+
+def _check_invariants(res, scan, system):
+    e_true = scan.sinogram - system.forward(res.image)
+    np.testing.assert_allclose(res.error_sinogram, e_true, atol=1e-8)
+    assert np.all(np.isfinite(res.image))
+    assert np.all(res.image >= 0)
+    total = sum(r.updates for r in res.history.records)
+    assert res.history.equits == pytest.approx(total / res.image.size)
+
+
+class TestPSVProperties:
+    @given(
+        sv_side=st.sampled_from([4, 6, 8, 11, 16]),
+        n_cores=st.sampled_from([1, 3, 16]),
+        fraction=st.sampled_from([0.1, 0.25, 0.5, 1.0]),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_invariants_hold(self, scan32, system32, sv_side, n_cores, fraction, seed):
+        res = psv_icd_reconstruct(
+            scan32, system32, sv_side=sv_side, n_cores=n_cores, fraction=fraction,
+            max_equits=1.5, seed=seed, track_cost=False,
+        )
+        _check_invariants(res, scan32, system32)
+
+
+class TestGPUProperties:
+    @given(
+        sv_side=st.sampled_from([4, 8, 12]),
+        tb=st.sampled_from([1, 3, 8, 40]),
+        batch=st.sampled_from([1, 4, 16, 64]),
+        overlap=st.sampled_from([0, 1]),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_invariants_hold(self, scan32, system32, sv_side, tb, batch, overlap, seed):
+        params = GPUICDParams(
+            sv_side=sv_side, threadblocks_per_sv=tb, batch_size=batch, overlap=overlap
+        )
+        res = gpu_icd_reconstruct(
+            scan32, system32, params=params, max_equits=1.5, seed=seed, track_cost=False
+        )
+        _check_invariants(res, scan32, system32)
+        # Every kernel's SVs belong to one checkerboard group.
+        cb = res.grid.checkerboard_groups()
+        membership = {i: g for g, ids in enumerate(cb) for i in ids}
+        for k in res.trace.kernels:
+            assert len({membership[s.sv_index] for s in k.sv_stats}) == 1

@@ -1,0 +1,120 @@
+"""Failure-injection and edge-case robustness tests.
+
+A library a downstream user adopts must fail loudly on malformed input and
+behave sanely on degenerate-but-legal input (dead detector channels, zero
+dose regions, single-voxel problems, zero iteration budgets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GPUICDParams,
+    gpu_icd_reconstruct,
+    icd_reconstruct,
+    psv_icd_reconstruct,
+)
+from repro.ct import ParallelBeamGeometry, ScanData, build_system_matrix, noiseless_scan
+from repro.ct.phantoms import disk_phantom
+
+
+class TestMalformedInput:
+    def test_nan_sinogram_rejected(self, geom32):
+        sino = np.zeros(geom32.sinogram_shape)
+        sino[3, 7] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            ScanData(geometry=geom32, sinogram=sino, weights=np.ones_like(sino))
+
+    def test_inf_weights_rejected(self, geom32):
+        sino = np.zeros(geom32.sinogram_shape)
+        w = np.ones_like(sino)
+        w[0, 0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            ScanData(geometry=geom32, sinogram=sino, weights=w)
+
+
+class TestDegenerateButLegal:
+    def test_dead_channels_zero_weight(self, system32, phantom32):
+        """Dead detector channels = zero weight: reconstruction proceeds and
+        ignores those measurements entirely."""
+        scan = noiseless_scan(phantom32, system32)
+        w = scan.weights.copy()
+        w[:, ::7] = 0.0  # every 7th channel dead
+        corrupt = scan.sinogram.copy()
+        corrupt[:, ::7] = 1e6  # garbage readings on the dead channels
+        scan2 = ScanData(geometry=scan.geometry, sinogram=corrupt, weights=w)
+        res = icd_reconstruct(scan2, system32, max_equits=4, seed=0, track_cost=False)
+        assert np.all(np.isfinite(res.image))
+        # The garbage did not leak in: the image is still near the phantom.
+        err = np.sqrt(np.mean((res.image - phantom32) ** 2))
+        assert err < 0.5 * phantom32.max()
+
+    def test_all_zero_weights(self, system32, phantom32):
+        """With no data at all, the MAP estimate is prior-only: it runs and
+        produces a (flat) finite image."""
+        scan = noiseless_scan(phantom32, system32)
+        scan2 = ScanData(
+            geometry=scan.geometry,
+            sinogram=scan.sinogram,
+            weights=np.zeros_like(scan.weights),
+        )
+        res = icd_reconstruct(scan2, system32, max_equits=2, seed=0, track_cost=False)
+        assert np.all(np.isfinite(res.image))
+
+    def test_zero_equit_budget(self, scan32, system32):
+        res = icd_reconstruct(scan32, system32, max_equits=0, seed=0, track_cost=False)
+        assert len(res.history.records) == 0
+        # The returned image is the initialisation.
+        assert res.image.shape == (32, 32)
+
+    def test_tiny_geometry(self):
+        """A 4x4 problem exercises all the boundary paths."""
+        geom = ParallelBeamGeometry(n_pixels=4, n_views=6, n_channels=8)
+        system = build_system_matrix(geom)
+        img = disk_phantom(4, radius=0.8, value=1.0)
+        scan = noiseless_scan(img, system)
+        res = icd_reconstruct(scan, system, max_equits=10, seed=0, track_cost=False)
+        assert np.all(np.isfinite(res.image))
+
+    def test_sv_side_spanning_whole_image(self, scan32, system32):
+        """One SV covering everything degenerates gracefully."""
+        res = psv_icd_reconstruct(
+            scan32, system32, sv_side=32, overlap=0, max_equits=2, seed=0,
+            track_cost=False,
+        )
+        assert res.grid.n_svs == 1
+        e_true = scan32.sinogram - system32.forward(res.image)
+        np.testing.assert_allclose(res.error_sinogram, e_true, atol=1e-8)
+
+    def test_gpu_many_more_threadblocks_than_voxels(self, scan32, system32):
+        """stale_width beyond the SV's voxel count is a single Jacobi wave."""
+        p = GPUICDParams(sv_side=8, threadblocks_per_sv=1000, batch_size=4)
+        res = gpu_icd_reconstruct(
+            scan32, system32, params=p, max_equits=3, seed=0, track_cost=False
+        )
+        assert np.all(np.isfinite(res.image))
+        assert res.trace.total_updates > 0
+
+    def test_extreme_dose_noise(self, system32, phantom32):
+        """Very low dose: heavy noise, but no numerical blow-up."""
+        from repro.ct import simulate_scan
+
+        scan = simulate_scan(phantom32, system32, dose=10.0, seed=0)
+        res = icd_reconstruct(scan, system32, max_equits=4, seed=0, track_cost=False)
+        assert np.all(np.isfinite(res.image))
+        assert np.all(res.image >= 0)
+
+
+class TestDeterminismAcrossDrivers:
+    def test_repeat_runs_bitwise_identical(self, scan32, system32):
+        for fn, kwargs in [
+            (icd_reconstruct, {}),
+            (psv_icd_reconstruct, {"sv_side": 8}),
+            (gpu_icd_reconstruct,
+             {"params": GPUICDParams(sv_side=8, threadblocks_per_sv=2, batch_size=4)}),
+        ]:
+            a = fn(scan32, system32, max_equits=2, seed=11, track_cost=False, **kwargs)
+            b = fn(scan32, system32, max_equits=2, seed=11, track_cost=False, **kwargs)
+            np.testing.assert_array_equal(a.image, b.image)

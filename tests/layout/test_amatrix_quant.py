@@ -1,0 +1,61 @@
+"""Tests for uint8 A-matrix quantisation (§4.3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import icd_reconstruct, rmse_hu
+from repro.layout import dequantized_system_matrix, quantize_system_matrix
+
+
+@pytest.fixture(scope="module")
+def quant(system32):
+    return quantize_system_matrix(system32)
+
+
+class TestQuantization:
+    def test_payload_is_quarter(self, system32, quant):
+        assert quant.nbytes_data == system32.matrix.data.nbytes // 4
+
+    def test_error_bound(self, system32, quant):
+        """|a - a_hat| <= voxel_max / 510 (round-to-nearest over 255 levels)."""
+        for j in range(0, system32.matrix.shape[1], 97):
+            rows, vals = system32.column(j)
+            approx = quant.dequantize_column(j)
+            if vals.size == 0:
+                continue
+            bound = quant.voxel_max[j] / 510.0 + 1e-12
+            assert np.max(np.abs(vals.astype(np.float64) - approx)) <= bound
+
+    def test_max_entry_maps_to_255(self, system32, quant):
+        j = 100
+        rows, vals = system32.column(j)
+        sl = slice(quant.indptr[j], quant.indptr[j + 1])
+        assert quant.data[sl].max() == 255
+
+    def test_voxel_max_matches(self, system32, quant):
+        j = 50
+        _, vals = system32.column(j)
+        assert quant.voxel_max[j] == pytest.approx(float(vals.max()))
+
+    def test_negative_entries_rejected(self, system32):
+        import copy
+
+        bad = copy.copy(system32)
+        bad.matrix = system32.matrix.copy()
+        bad.matrix.data = bad.matrix.data.copy()
+        bad.matrix.data[0] = -1.0
+        with pytest.raises(ValueError):
+            quantize_system_matrix(bad)
+
+
+class TestEndToEndImpact:
+    def test_reconstruction_unaffected(self, system32, scan32, quant):
+        """The paper uses 8-bit A entries with no visible quality loss; the
+        reconstructions with exact and quantised matrices must agree to a
+        couple of HU."""
+        approx_system = dequantized_system_matrix(system32, quant)
+        exact = icd_reconstruct(scan32, system32, max_equits=5, seed=0, track_cost=False)
+        approx = icd_reconstruct(scan32, approx_system, max_equits=5, seed=0, track_cost=False)
+        assert rmse_hu(exact.image, approx.image) < 3.0

@@ -1,0 +1,113 @@
+"""Tests for the analytic chunk-layout statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ct import paper_geometry, scaled_geometry
+from repro.layout import (
+    chunk_layout_stats,
+    naive_layout_stats,
+    trace_total_variation,
+    view_run_lengths,
+)
+
+
+class TestViewRunLengths:
+    def test_bounds(self):
+        g = scaled_geometry(64)
+        runs = view_run_lengths(g)
+        assert runs.shape == (g.n_views,)
+        assert np.all(runs >= 1.0)
+        assert np.all(runs <= np.sqrt(2) * g.pixel_size / g.channel_spacing + 1.0 + 1e-9)
+
+    def test_paper_scale(self):
+        """The paper quotes >2000 for views x channels-per-view (§3.1)."""
+        g = paper_geometry()
+        assert view_run_lengths(g).sum() > 2000
+
+
+class TestTraceTotalVariation:
+    def test_scales_with_image(self):
+        assert trace_total_variation(paper_geometry()) > trace_total_variation(
+            scaled_geometry(64)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            trace_total_variation(scaled_geometry(16), radius_fraction=0.0)
+
+
+class TestChunkLayoutStats:
+    def test_padding_grows_with_width(self):
+        g = paper_geometry()
+        s8 = chunk_layout_stats(g, 8)
+        s32 = chunk_layout_stats(g, 32)
+        s128 = chunk_layout_stats(g, 128)
+        assert s8.padding_factor < s32.padding_factor < s128.padding_factor
+        assert s32.padding_factor > 1.0
+
+    def test_alignment_flag(self):
+        g = paper_geometry()
+        assert chunk_layout_stats(g, 32).aligned
+        assert chunk_layout_stats(g, 64).aligned
+        assert not chunk_layout_stats(g, 24).aligned
+
+    def test_elements_equal_rows_times_width(self):
+        g = paper_geometry()
+        s = chunk_layout_stats(g, 32)
+        assert s.elements == pytest.approx(s.n_rows * 32)
+
+    def test_request_efficiency_peaks_at_full_rows(self):
+        g = paper_geometry()
+        assert chunk_layout_stats(g, 32).request_efficiency(4) == pytest.approx(1.0)
+        assert chunk_layout_stats(g, 8).request_efficiency(4) < 0.5
+
+    def test_unaligned_efficiency_derated(self):
+        g = paper_geometry()
+        e48 = chunk_layout_stats(g, 48).request_efficiency(4)
+        e64 = chunk_layout_stats(g, 64).request_efficiency(4)
+        assert e48 < e64
+
+    def test_narrow_entries_narrow_requests(self):
+        g = paper_geometry()
+        s = chunk_layout_stats(g, 32)
+        assert s.request_efficiency(1) < s.request_efficiency(4)
+
+    def test_chunk_count_decreases_with_width(self):
+        g = paper_geometry()
+        assert chunk_layout_stats(g, 8).n_chunks > chunk_layout_stats(g, 64).n_chunks
+
+    def test_traffic_scales_with_entry_bytes(self):
+        g = paper_geometry()
+        s = chunk_layout_stats(g, 32)
+        assert s.array_traffic_bytes(4) == pytest.approx(4 * s.array_traffic_bytes(1))
+
+    @given(width=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, width):
+        g = scaled_geometry(64)
+        s = chunk_layout_stats(g, width)
+        assert s.elements >= s.raw_elements - 1e-9
+        assert s.n_chunks >= 1
+        assert s.array_sectors(4) > 0
+        assert 0 < s.request_efficiency(4) <= 1.0
+
+
+class TestNaiveLayoutStats:
+    def test_no_padding(self):
+        g = paper_geometry()
+        ns = naive_layout_stats(g)
+        cs = chunk_layout_stats(g, 32)
+        assert ns.raw_elements == pytest.approx(cs.raw_elements)
+
+    def test_low_request_efficiency(self):
+        ns = naive_layout_stats(paper_geometry())
+        assert ns.request_efficiency < 0.5
+
+    def test_lookup_reads_one_per_view(self):
+        g = paper_geometry()
+        assert naive_layout_stats(g).lookup_sectors == g.n_views

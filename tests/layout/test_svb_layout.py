@@ -1,0 +1,111 @@
+"""Tests for the concrete SVB layout transforms and chunk tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SuperVoxelGrid
+from repro.layout import (
+    build_chunk_table,
+    chunk_padded_elements,
+    member_view_runs,
+    to_sensor_major,
+)
+
+
+@pytest.fixture(scope="module")
+def grid(system32):
+    return SuperVoxelGrid(system32, sv_side=8, overlap=1)
+
+
+@pytest.fixture(scope="module")
+def sv(grid):
+    return grid.svs[5]
+
+
+class TestToSensorMajor:
+    def test_transpose_roundtrip(self, sv, rng):
+        svb = rng.random(sv.svb_cells)
+        n_views = sv.band_lo.size
+        sm = to_sensor_major(svb, n_views, sv.width)
+        assert sm.shape == (sv.width, n_views)
+        np.testing.assert_array_equal(sm.T.ravel(), svb)
+
+    def test_copy_not_view(self, sv, rng):
+        svb = rng.random(sv.svb_cells)
+        sm = to_sensor_major(svb, sv.band_lo.size, sv.width)
+        sm[0, 0] += 1.0
+        assert svb[0] != sm[0, 0]
+
+
+class TestMemberViewRuns:
+    def test_matches_footprint(self, sv):
+        for m in range(0, sv.n_voxels, 13):
+            starts, counts = member_view_runs(sv, m)
+            idx = sv.member_footprint(m)
+            assert counts.sum() == idx.size
+            # Rebuild the footprint from the runs.
+            rebuilt = []
+            for v in range(starts.size):
+                if counts[v]:
+                    rebuilt.append(v * sv.width + starts[v] + np.arange(counts[v]))
+            np.testing.assert_array_equal(np.concatenate(rebuilt), np.sort(idx))
+
+    def test_runs_within_band(self, sv):
+        starts, counts = member_view_runs(sv, 0)
+        present = counts > 0
+        assert np.all(starts[present] >= 0)
+        assert np.all(starts[present] + counts[present] <= sv.width)
+
+
+class TestBuildChunkTable:
+    def test_chunks_cover_every_run(self, sv):
+        """Correctness of the transform: every footprint element lies inside
+        some chunk window of its view."""
+        for m in range(0, sv.n_voxels, 7):
+            chunks = build_chunk_table(sv, m, chunk_width=8)
+            starts, counts = member_view_runs(sv, m)
+            for v in range(starts.size):
+                if counts[v] == 0:
+                    continue
+                covered = np.zeros(sv.width + 16, dtype=bool)
+                for ch in chunks:
+                    if ch.first_view <= v < ch.first_view + ch.n_rows:
+                        covered[ch.window_start : ch.window_start + ch.width] = True
+                run = np.arange(starts[v], starts[v] + counts[v])
+                assert covered[run].all(), (m, v)
+
+    def test_windows_inside_svb(self, sv):
+        for width in (4, 8, 32):
+            chunks = build_chunk_table(sv, 3, chunk_width=width)
+            for ch in chunks:
+                assert ch.window_start >= 0
+                assert ch.window_start + ch.width <= sv.width
+
+    def test_wide_window_single_chunkish(self, sv):
+        """A window as wide as the whole SVB needs very few chunks."""
+        chunks = build_chunk_table(sv, 0, chunk_width=sv.width)
+        assert len(chunks) <= 3
+
+    def test_narrow_windows_many_chunks(self, sv):
+        wide = build_chunk_table(sv, 0, chunk_width=32)
+        narrow = build_chunk_table(sv, 0, chunk_width=2)
+        assert len(narrow) > len(wide)
+
+    def test_padded_elements_at_least_footprint(self, sv):
+        for width in (2, 8, 32):
+            chunks = build_chunk_table(sv, 1, chunk_width=width)
+            assert chunk_padded_elements(chunks) >= sv.member_footprint(1).size
+
+    def test_rows_sum_covers_views(self, sv):
+        """Each view with entries appears in at least one chunk row."""
+        chunks = build_chunk_table(sv, 2, chunk_width=8)
+        _, counts = member_view_runs(sv, 2)
+        views_with_entries = int(np.count_nonzero(counts))
+        total_rows = sum(ch.n_rows for ch in chunks)
+        assert total_rows >= views_with_entries
+
+    def test_invalid_width(self, sv):
+        with pytest.raises(ValueError):
+            build_chunk_table(sv, 0, chunk_width=0)

@@ -1,0 +1,83 @@
+"""Tests for generalized coordinate descent (§6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers import cd_solve, grouped_cd_solve, random_sparse_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return random_sparse_problem(120, 30, density=0.1, seed=4)
+
+
+class TestCDSolve:
+    def test_converges_to_direct_solution(self, problem):
+        prob, _ = problem
+        res = cd_solve(prob, max_sweeps=300, tol=1e-15)
+        np.testing.assert_allclose(res.x, prob.solve_direct(), atol=1e-6)
+
+    def test_monotone_cost(self, problem):
+        prob, _ = problem
+        res = cd_solve(prob, max_sweeps=30)
+        assert np.all(np.diff(res.costs) <= 1e-12)
+
+    def test_warm_start(self, problem):
+        prob, _ = problem
+        x_star = prob.solve_direct()
+        res = cd_solve(prob, x0=x_star, max_sweeps=5)
+        assert res.iterations <= 2  # already converged
+
+    def test_deterministic(self, problem):
+        prob, _ = problem
+        a = cd_solve(prob, max_sweeps=5, seed=1)
+        b = cd_solve(prob, max_sweeps=5, seed=1)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_nonrandom_order(self, problem):
+        prob, _ = problem
+        res = cd_solve(prob, max_sweeps=10, randomize=False)
+        assert np.all(np.diff(res.costs) <= 1e-12)
+
+
+class TestGroupedCDSolve:
+    def test_same_fixed_point_as_sequential(self, problem):
+        prob, _ = problem
+        res = grouped_cd_solve(prob, group_size=6, max_sweeps=300, tol=1e-15)
+        np.testing.assert_allclose(res.x, prob.solve_direct(), atol=1e-5)
+
+    def test_monotone_cost(self, problem):
+        prob, _ = problem
+        res = grouped_cd_solve(prob, group_size=6, max_sweeps=30)
+        assert np.all(np.diff(res.costs) <= 1e-9)
+
+    def test_staleness_converges_but_possibly_slower(self, problem):
+        """The intra-SV staleness analogue: still converges, never faster by
+        a large margin than sequential-within-group."""
+        prob, _ = problem
+        fresh = grouped_cd_solve(prob, group_size=6, stale_width=1, max_sweeps=120, tol=0)
+        stale = grouped_cd_solve(prob, group_size=6, stale_width=6, max_sweeps=120, tol=0)
+        target = prob.cost(prob.solve_direct())
+        # Both approach the optimum; staleness may not be ahead at any
+        # sweep budget.
+        gap_fresh = fresh.final_cost - target
+        gap_stale = stale.final_cost - target
+        assert gap_fresh < 1e-6 * max(abs(target), 1.0)
+        assert gap_stale < 1e-3 * max(abs(target), 1.0)
+        assert gap_stale >= gap_fresh * 0.1 - 1e-12
+
+    def test_precomputed_groups_used(self, problem):
+        prob, _ = problem
+        groups = [np.arange(0, 15), np.arange(15, 30)]
+        colors = [[0], [1]]
+        res = grouped_cd_solve(prob, groups=groups, colors=colors, max_sweeps=200, tol=1e-15)
+        np.testing.assert_allclose(res.x, prob.solve_direct(), atol=1e-5)
+
+    def test_invalid_args(self, problem):
+        prob, _ = problem
+        with pytest.raises(ValueError):
+            grouped_cd_solve(prob, group_size=0)
+        with pytest.raises(ValueError):
+            grouped_cd_solve(prob, stale_width=0)

@@ -1,0 +1,92 @@
+"""Tests for correlation-based grouping (the generalized checkerboard)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    build_interference_graph,
+    cluster_supervariables,
+    color_groups,
+    correlation_matrix,
+    random_sparse_problem,
+)
+
+
+@pytest.fixture(scope="module")
+def banded():
+    prob, _ = random_sparse_problem(200, 24, density=0.06, banded=True, seed=5)
+    return prob
+
+
+class TestCorrelationMatrix:
+    def test_symmetric_nonnegative(self, banded):
+        c = correlation_matrix(banded)
+        np.testing.assert_allclose(c, c.T)
+        assert np.all(c >= 0)
+
+    def test_matches_pointwise(self, banded):
+        c = correlation_matrix(banded)
+        assert c[3, 7] == pytest.approx(banded.correlation(3, 7))
+
+
+class TestInterferenceGraph:
+    def test_banded_neighbors_connected(self, banded):
+        g = build_interference_graph(banded)
+        assert g.number_of_nodes() == banded.n
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, banded.n - 1)
+
+    def test_threshold_prunes(self, banded):
+        dense = build_interference_graph(banded, threshold=0.0)
+        sparse = build_interference_graph(banded, threshold=1e9)
+        assert sparse.number_of_edges() == 0
+        assert dense.number_of_edges() >= sparse.number_of_edges()
+
+
+class TestClusterSupervariables:
+    def test_partition(self, banded):
+        groups = cluster_supervariables(banded, group_size=4)
+        all_members = np.concatenate(groups)
+        assert sorted(all_members.tolist()) == list(range(banded.n))
+        assert all(len(g) <= 4 for g in groups)
+
+    def test_groups_are_correlated(self, banded):
+        """Members of one group correlate more than random cross pairs —
+        the 'maximise intra-group correlation' criterion of §6."""
+        groups = cluster_supervariables(banded, group_size=4)
+        corr = correlation_matrix(banded)
+        np.fill_diagonal(corr, np.nan)
+        intra = []
+        for g in groups:
+            if len(g) > 1:
+                sub = corr[np.ix_(g, g)]
+                intra.append(np.nanmean(sub))
+        assert np.mean(intra) > np.nanmean(corr)
+
+    def test_invalid_size(self, banded):
+        with pytest.raises(ValueError):
+            cluster_supervariables(banded, group_size=0)
+
+
+class TestColorGroups:
+    def test_color_classes_are_independent(self, banded):
+        """No two same-color supervariables may correlate above threshold —
+        the property that makes concurrent updates safe."""
+        groups = cluster_supervariables(banded, group_size=4)
+        corr = correlation_matrix(banded)
+        diag_mean = float(np.mean(np.diag(corr)))
+        threshold = 0.01 * diag_mean
+        classes = color_groups(banded, groups, threshold=threshold)
+        for cls in classes:
+            for i, a in enumerate(cls):
+                for b in cls[i + 1 :]:
+                    block = corr[np.ix_(groups[a], groups[b])]
+                    assert block.max() <= threshold
+
+    def test_classes_partition_groups(self, banded):
+        groups = cluster_supervariables(banded, group_size=4)
+        classes = color_groups(banded, groups)
+        flat = sorted(i for c in classes for i in c)
+        assert flat == list(range(len(groups)))

@@ -1,0 +1,72 @@
+"""Tests for robust IRLS fitting (§6's geophysics application)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers.robust import huber_weights, irls_solve
+
+
+def make_outlier_problem(m=120, n=15, n_outliers=10, seed=0):
+    rng = np.random.default_rng(seed)
+    A = sp.csc_matrix(rng.standard_normal((m, n)))
+    x_true = rng.standard_normal(n)
+    y = A @ x_true + 0.01 * rng.standard_normal(m)
+    idx = rng.choice(m, size=n_outliers, replace=False)
+    y[idx] += rng.choice([-1, 1], size=n_outliers) * rng.uniform(5, 20, size=n_outliers)
+    return A, y, x_true, idx
+
+
+class TestHuberWeights:
+    def test_core_unit_weight(self):
+        w = huber_weights(np.array([0.0, 0.5, -0.9]), delta=1.0)
+        np.testing.assert_array_equal(w, 1.0)
+
+    def test_tail_downweights(self):
+        w = huber_weights(np.array([4.0, -10.0]), delta=1.0)
+        np.testing.assert_allclose(w, [0.25, 0.1])
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_weights(np.zeros(3), delta=0.0)
+
+
+class TestIRLSSolve:
+    def test_outliers_rejected(self):
+        A, y, x_true, outliers = make_outlier_problem()
+        res = irls_solve(A, y, delta=0.1)
+        # The robust fit recovers x_true despite 8% gross outliers.
+        assert np.max(np.abs(res.x - x_true)) < 0.05
+        # ... while plain least squares does not.
+        ls = np.linalg.lstsq(A.toarray(), y, rcond=None)[0]
+        assert np.max(np.abs(ls - x_true)) > 2 * np.max(np.abs(res.x - x_true))
+
+    def test_outlier_identification(self):
+        A, y, _, outliers = make_outlier_problem()
+        res = irls_solve(A, y, delta=0.1)
+        flagged = set(np.nonzero(res.outlier_mask(0.5))[0].tolist())
+        assert set(outliers.tolist()) <= flagged
+        # Not everything is flagged.
+        assert len(flagged) < y.size / 2
+
+    def test_loss_monotone(self):
+        A, y, _, _ = make_outlier_problem()
+        res = irls_solve(A, y, delta=0.1)
+        assert all(b <= a + 1e-8 for a, b in zip(res.losses, res.losses[1:]))
+
+    def test_clean_data_matches_least_squares(self):
+        rng = np.random.default_rng(3)
+        A = sp.csc_matrix(rng.standard_normal((60, 8)))
+        x_true = rng.standard_normal(8)
+        y = A @ x_true  # no noise, no outliers
+        res = irls_solve(A, y, delta=10.0)  # everything in the quadratic core
+        np.testing.assert_allclose(res.x, x_true, atol=1e-5)
+
+    def test_shape_validation(self):
+        A = sp.csc_matrix(np.eye(4))
+        with pytest.raises(ValueError):
+            irls_solve(A, np.zeros(3))
+        with pytest.raises(ValueError):
+            irls_solve(A, np.zeros(4), max_outer=0)

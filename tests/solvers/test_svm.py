@@ -1,0 +1,90 @@
+"""Tests for dual coordinate descent SVM training (§6's ML application)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers.svm import SVMProblem, make_classification, svm_dual_cd
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_classification(80, 20, density=0.3, margin=1.0, seed=2)
+
+
+class TestSVMProblem:
+    def test_label_validation(self):
+        X = sp.csr_matrix(np.eye(3))
+        with pytest.raises(ValueError):
+            SVMProblem(X=X, y=np.array([1.0, 0.0, -1.0]))
+        with pytest.raises(ValueError):
+            SVMProblem(X=X, y=np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            SVMProblem(X=X, y=np.array([1.0, -1.0, 1.0]), C=0.0)
+
+    def test_dual_objective_at_zero(self, problem):
+        assert problem.dual_objective(np.zeros(problem.n_samples)) == 0.0
+
+    def test_primal_weights_shape(self, problem):
+        w = problem.primal_weights(np.ones(problem.n_samples))
+        assert w.shape == (problem.X.shape[1],)
+
+
+class TestSequentialDualCD:
+    def test_objective_monotone(self, problem):
+        res = svm_dual_cd(problem, max_sweeps=20)
+        assert all(b <= a + 1e-10 for a, b in zip(res.objectives, res.objectives[1:]))
+
+    def test_alpha_nonnegative(self, problem):
+        res = svm_dual_cd(problem, max_sweeps=20)
+        assert np.all(res.alpha >= 0)
+
+    def test_separable_data_high_accuracy(self, problem):
+        res = svm_dual_cd(problem, max_sweeps=50)
+        assert problem.accuracy(res.w) > 0.95
+
+    def test_kkt_at_convergence(self, problem):
+        """At the optimum: grad_i >= 0 where alpha_i = 0, grad_i ~ 0 where
+        alpha_i > 0 (projected-gradient conditions)."""
+        res = svm_dual_cd(problem, max_sweeps=300, tol=1e-14)
+        X, y, C = problem.X, problem.y, problem.C
+        grad = y * np.asarray(X @ res.w).ravel() - 1.0 + res.alpha / (2 * C)
+        active = res.alpha > 1e-10
+        assert np.all(np.abs(grad[active]) < 1e-5)
+        assert np.all(grad[~active] > -1e-5)
+
+
+class TestGroupedDualCD:
+    def test_matches_sequential_optimum(self, problem):
+        seq = svm_dual_cd(problem, max_sweeps=300, tol=1e-14)
+        par = svm_dual_cd(problem, max_sweeps=300, tol=1e-14, group_size=8, stale_width=4)
+        assert par.objectives[-1] == pytest.approx(seq.objectives[-1], rel=1e-5, abs=1e-8)
+        assert problem.accuracy(par.w) > 0.95
+
+    def test_objective_monotone_under_grouping(self, problem):
+        res = svm_dual_cd(problem, max_sweeps=15, group_size=8, stale_width=2)
+        diffs = np.diff(res.objectives)
+        # Concurrent stale waves may cause tiny transients; the trend holds.
+        assert res.objectives[-1] < res.objectives[0]
+        assert np.sum(diffs > 1e-6) <= 1
+
+    def test_invalid_args(self, problem):
+        with pytest.raises(ValueError):
+            svm_dual_cd(problem, max_sweeps=0)
+        with pytest.raises(ValueError):
+            svm_dual_cd(problem, stale_width=0)
+
+
+class TestMakeClassification:
+    def test_deterministic(self):
+        a = make_classification(20, 8, seed=1)
+        b = make_classification(20, 8, seed=1)
+        assert (a.X != b.X).nnz == 0
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_balanced_ish(self):
+        p = make_classification(200, 16, seed=0)
+        frac = np.mean(p.y == 1)
+        assert 0.2 < frac < 0.8

@@ -1,0 +1,67 @@
+"""Tests for the generic WLS problem class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers import WLSProblem, random_sparse_problem
+
+
+class TestWLSProblem:
+    def test_shape_validation(self):
+        A = sp.eye(4, format="csc")
+        with pytest.raises(ValueError):
+            WLSProblem(A=A, y=np.ones(3), weights=np.ones(4))
+        with pytest.raises(ValueError):
+            WLSProblem(A=A, y=np.ones(4), weights=np.ones(3))
+        with pytest.raises(ValueError):
+            WLSProblem(A=A, y=np.ones(4), weights=-np.ones(4))
+        with pytest.raises(ValueError):
+            WLSProblem(A=A, y=np.ones(4), weights=np.ones(4), ridge=-1)
+
+    def test_residual_and_cost(self):
+        A = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        p = WLSProblem(A=A, y=np.array([1.0, 2.0]), weights=np.array([1.0, 0.5]))
+        x = np.array([1.0, 1.0])
+        np.testing.assert_allclose(p.residual(x), [0.0, 0.0] + np.array([0.0, 0.0]))
+        assert p.cost(np.zeros(2)) == pytest.approx(0.5 * (1.0 + 0.5 * 4.0))
+
+    def test_curvature(self):
+        A = sp.csc_matrix(np.array([[1.0, 1.0], [2.0, 0.0]]))
+        p = WLSProblem(A=A, y=np.zeros(2), weights=np.array([1.0, 3.0]), ridge=0.1)
+        assert p.curvature(0) == pytest.approx(1.0 + 3.0 * 4.0 + 0.1)
+        assert p.curvature(1) == pytest.approx(1.0 + 0.1)
+
+    def test_solve_direct_solves_normal_equations(self, rng):
+        prob, _ = random_sparse_problem(30, 10, density=0.3, seed=1)
+        x = prob.solve_direct()
+        # Gradient at the solution is ~0.
+        Ad = prob.A.toarray()
+        grad = -Ad.T @ (prob.weights * prob.residual(x)) + prob.ridge * x
+        assert np.max(np.abs(grad)) < 1e-8
+
+    def test_correlation_symmetric(self):
+        prob, _ = random_sparse_problem(40, 8, density=0.4, seed=2)
+        assert prob.correlation(2, 5) == pytest.approx(prob.correlation(5, 2))
+        # Self-correlation is sum of squares of |entries|.
+        _, vals = prob.column(3)
+        assert prob.correlation(3, 3) == pytest.approx(np.sum(np.abs(vals) ** 2))
+
+
+class TestRandomProblem:
+    def test_deterministic(self):
+        p1, x1 = random_sparse_problem(20, 5, seed=0)
+        p2, x2 = random_sparse_problem(20, 5, seed=0)
+        np.testing.assert_array_equal(x1, x2)
+        assert (p1.A != p2.A).nnz == 0
+
+    def test_banded_structure(self):
+        prob, _ = random_sparse_problem(100, 10, density=0.1, banded=True, seed=0)
+        # Adjacent columns correlate; distant columns do not.
+        assert prob.correlation(0, 1) > prob.correlation(0, 9)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            random_sparse_problem(10, 5, density=0.0)

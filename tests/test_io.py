@@ -1,0 +1,94 @@
+"""Tests for scan / reconstruction persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import icd_reconstruct
+from repro.io import load_reconstruction, load_scan, save_reconstruction, save_scan
+
+
+class TestScanRoundtrip:
+    def test_full_roundtrip(self, scan32, tmp_path):
+        p = tmp_path / "scan.npz"
+        save_scan(p, scan32)
+        loaded = load_scan(p)
+        np.testing.assert_array_equal(loaded.sinogram, scan32.sinogram)
+        np.testing.assert_array_equal(loaded.weights, scan32.weights)
+        np.testing.assert_array_equal(loaded.ground_truth, scan32.ground_truth)
+        assert loaded.geometry.n_pixels == scan32.geometry.n_pixels
+        assert loaded.geometry.channel_spacing == pytest.approx(
+            scan32.geometry.channel_spacing
+        )
+
+    def test_without_ground_truth(self, scan32, tmp_path):
+        from repro.ct import ScanData
+
+        scan = ScanData(
+            geometry=scan32.geometry,
+            sinogram=scan32.sinogram,
+            weights=scan32.weights,
+        )
+        p = tmp_path / "scan.npz"
+        save_scan(p, scan)
+        assert load_scan(p).ground_truth is None
+
+    def test_wrong_format_rejected(self, tmp_path):
+        p = tmp_path / "other.npz"
+        np.savez(p, format=np.array("something-else"), x=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro scan"):
+            load_scan(p)
+
+    def test_loaded_scan_reconstructs(self, scan32, system32, tmp_path):
+        p = tmp_path / "scan.npz"
+        save_scan(p, scan32)
+        loaded = load_scan(p)
+        res = icd_reconstruct(loaded, system32, max_equits=1, seed=0, track_cost=False)
+        ref = icd_reconstruct(scan32, system32, max_equits=1, seed=0, track_cost=False)
+        np.testing.assert_allclose(res.image, ref.image, atol=1e-12)
+
+
+class TestReconstructionRoundtrip:
+    def test_image_and_history(self, scan32, system32, tmp_path, golden32):
+        res = icd_reconstruct(
+            scan32, system32, max_equits=2, golden=golden32, stop_rmse=1e-9,
+            seed=0, track_cost=False,
+        )
+        p = tmp_path / "recon.npz"
+        save_reconstruction(p, res.image, res.history, metadata={"driver": "seq"})
+        image, history, meta = load_reconstruction(p)
+        np.testing.assert_array_equal(image, res.image)
+        assert meta == {"driver": "seq"}
+        assert history is not None
+        assert len(history.records) == len(res.history.records)
+        for a, b in zip(history.records, res.history.records):
+            assert a.equits == pytest.approx(b.equits)
+            assert a.updates == b.updates
+            assert (a.rmse is None) == (b.rmse is None)
+
+    def test_image_only(self, tmp_path, rng):
+        img = rng.random((8, 8))
+        p = tmp_path / "img.npz"
+        save_reconstruction(p, img)
+        image, history, meta = load_reconstruction(p)
+        np.testing.assert_array_equal(image, img)
+        assert history is None
+        assert meta == {}
+
+    def test_converged_equits_preserved(self, tmp_path):
+        from repro.core.convergence import IterationRecord, RunHistory
+
+        h = RunHistory()
+        h.append(IterationRecord(1, 1.0, 2.0, 5.0, 10, 1))
+        h.converged_equits = 1.0
+        p = tmp_path / "r.npz"
+        save_reconstruction(p, np.zeros((2, 2)), h)
+        _, loaded, _ = load_reconstruction(p)
+        assert loaded.converged_equits == 1.0
+
+    def test_wrong_format_rejected(self, tmp_path):
+        p = tmp_path / "bad.npz"
+        np.savez(p, format=np.array("repro-scan-v1"), image=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="not a repro reconstruction"):
+            load_reconstruction(p)

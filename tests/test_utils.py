@@ -1,0 +1,83 @@
+"""Tests for repro.utils: RNG plumbing and validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+    resolve_rng,
+    spawn_rngs,
+)
+
+
+class TestResolveRng:
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42).random(5)
+        b = resolve_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(resolve_rng(1).random(8), resolve_rng(2).random(8))
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    def test_deterministic_for_seed(self):
+        a1, _ = spawn_rngs(3, 2)
+        a2, _ = spawn_rngs(3, 2)
+        np.testing.assert_array_equal(a1.random(8), a2.random(8))
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1)
+        check_positive("x", 0, strict=False)
+
+    def test_check_positive_rejects(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_in_range(self):
+        check_in_range("y", 0.5, 0.0, 1.0)
+        with pytest.raises(ValueError, match="y"):
+            check_in_range("y", 1.5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("y", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_check_shape(self):
+        check_shape("a", np.zeros((2, 3)), (2, 3))
+        with pytest.raises(ValueError, match="a"):
+            check_shape("a", np.zeros((2, 3)), (3, 2))
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)

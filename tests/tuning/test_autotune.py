@@ -1,0 +1,105 @@
+"""Tests for the model-driven auto-tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gpu_icd import GPUICDParams
+from repro.ct import paper_geometry
+from repro.gpusim import GPUTimingModel
+from repro.tuning import AutoTuner, SearchSpace
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    model = GPUTimingModel(paper_geometry())
+    return AutoTuner(model, zero_skip_fraction=0.4)
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return SearchSpace(
+        sv_side=(25, 33, 41),
+        threadblocks_per_sv=(16, 32, 40),
+        threads_per_block=(192, 256),
+        batch_size=(16, 32),
+        chunk_width=(16, 32),
+    )
+
+
+class TestSearchSpace:
+    def test_size(self, small_space):
+        assert small_space.size == 3 * 3 * 2 * 2 * 2
+
+    def test_default_space_covers_paper_point(self):
+        s = SearchSpace()
+        assert 33 in s.sv_side
+        assert 40 in s.threadblocks_per_sv
+        assert 256 in s.threads_per_block
+        assert 32 in s.batch_size
+        assert 32 in s.chunk_width
+
+
+class TestGridSearch:
+    def test_finds_near_paper_optimum(self, tuner, small_space):
+        res = tuner.grid_search(small_space)
+        assert res.best_params.chunk_width == 32
+        assert res.best_params.sv_side in (33, 41)
+        assert res.best_params.threadblocks_per_sv >= 32
+        assert 0.05 < res.best_time < 0.09
+
+    def test_history_complete(self, tuner, small_space):
+        res = tuner.grid_search(small_space)
+        assert len(res.history) == small_space.size
+        assert min(t for _, t in res.history) == res.best_time
+
+    def test_improvement_over_bad_point(self, tuner, small_space):
+        res = tuner.grid_search(small_space)
+        bad = GPUICDParams(sv_side=25, threadblocks_per_sv=16, chunk_width=16)
+        assert res.improvement_over(bad, tuner) > 1.0
+
+
+class TestCoordinateDescent:
+    def test_matches_grid_on_benign_surface(self, tuner, small_space):
+        grid = tuner.grid_search(small_space)
+        cd = AutoTuner(tuner.model, zero_skip_fraction=0.4).coordinate_descent(small_space)
+        assert cd.best_time <= grid.best_time * 1.02
+
+    def test_far_fewer_evaluations(self, small_space):
+        model = GPUTimingModel(paper_geometry())
+        grid_tuner = AutoTuner(model, zero_skip_fraction=0.4)
+        grid_tuner.grid_search(small_space)
+        cd_tuner = AutoTuner(model, zero_skip_fraction=0.4)
+        cd_tuner.coordinate_descent(small_space)
+        assert cd_tuner.evaluations < grid_tuner.evaluations / 2
+
+    def test_start_point_respected(self, tuner, small_space):
+        start = GPUICDParams(
+            sv_side=25, threadblocks_per_sv=16, threads_per_block=192,
+            batch_size=16, chunk_width=16,
+        )
+        res = tuner.coordinate_descent(small_space, start=start)
+        assert res.best_time <= tuner.evaluate(start)
+
+
+class TestInputSensitivity:
+    def test_zero_skip_fraction_changes_times(self):
+        model = GPUTimingModel(paper_geometry())
+        sparse = AutoTuner(model, zero_skip_fraction=0.8)
+        dense = AutoTuner(model, zero_skip_fraction=0.0)
+        p = GPUICDParams()
+        assert sparse.evaluate(p) != dense.evaluate(p)
+
+    def test_invalid_fraction(self):
+        model = GPUTimingModel(paper_geometry())
+        with pytest.raises(ValueError):
+            AutoTuner(model, zero_skip_fraction=1.0)
+
+    def test_memoisation(self, tuner):
+        before = tuner.evaluations
+        p = GPUICDParams()
+        tuner.evaluate(p)
+        mid = tuner.evaluations
+        tuner.evaluate(p)
+        assert tuner.evaluations == mid
+        assert mid >= before

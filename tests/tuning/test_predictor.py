@@ -1,0 +1,65 @@
+"""Tests for the zero-skip-fraction predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ct import build_system_matrix, scaled_geometry, simulate_scan
+from repro.ct.phantoms import MU_WATER, baggage_phantom, disk_phantom
+from repro.tuning import estimate_zero_skip_fraction
+
+
+@pytest.fixture(scope="module")
+def geom_system():
+    g = scaled_geometry(32)
+    return g, build_system_matrix(g)
+
+
+class TestEstimateZeroSkipFraction:
+    def test_sparse_scene_high_fraction(self, geom_system):
+        g, system = geom_system
+        img = np.zeros((32, 32))
+        img[14:18, 14:18] = 2 * MU_WATER
+        scan = simulate_scan(img, system, dose=1e5, seed=0)
+        frac = estimate_zero_skip_fraction(scan)
+        assert frac > 0.5
+
+    def test_dense_scene_low_fraction(self, geom_system):
+        g, system = geom_system
+        img = disk_phantom(32, radius=0.95, value=MU_WATER)
+        scan = simulate_scan(img, system, dose=1e5, seed=0)
+        frac = estimate_zero_skip_fraction(scan)
+        assert frac < 0.3
+
+    def test_tracks_true_air_fraction(self, geom_system):
+        g, system = geom_system
+        img = baggage_phantom(32, n_objects=5, seed=3)
+        scan = simulate_scan(img, system, dose=1e5, seed=0)
+        true_air = float(np.mean(img == 0))
+        est = estimate_zero_skip_fraction(scan)
+        assert abs(est - true_air) < 0.45  # FBP-based, coarse but indicative
+
+    def test_bounded(self, geom_system):
+        g, system = geom_system
+        img = np.zeros((32, 32))
+        scan = simulate_scan(img + 1e-9, system, dose=1e5, seed=0)
+        frac = estimate_zero_skip_fraction(scan)
+        assert 0.0 <= frac <= 0.99
+
+    def test_erosion_reduces_fraction(self, geom_system):
+        g, system = geom_system
+        img = baggage_phantom(32, n_objects=5, seed=3)
+        scan = simulate_scan(img, system, dose=1e5, seed=0)
+        loose = estimate_zero_skip_fraction(scan, erosion_margin=0)
+        tight = estimate_zero_skip_fraction(scan, erosion_margin=2)
+        assert tight <= loose
+
+    def test_invalid_args(self, geom_system):
+        g, system = geom_system
+        img = disk_phantom(32)
+        scan = simulate_scan(img, system, dose=1e5, seed=0)
+        with pytest.raises(ValueError):
+            estimate_zero_skip_fraction(scan, threshold=0.0)
+        with pytest.raises(ValueError):
+            estimate_zero_skip_fraction(scan, erosion_margin=-1)
