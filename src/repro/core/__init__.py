@@ -16,7 +16,16 @@ from repro.core.icd import (
     icd_reconstruct,
     initial_image,
 )
-from repro.core.prior import Neighborhood, Prior, QGGMRFPrior, QuadraticPrior
+from repro.core.kernels import (
+    HAVE_NUMBA,
+    KERNELS,
+    KernelContext,
+    resolve_kernel,
+    run_sv_visit,
+    run_sweep,
+    run_wave_fused,
+)
+from repro.core.prior import Neighborhood, Prior, QGGMRFPrior, QuadraticPrior, shared_neighborhood
 from repro.core.psv_icd import (
     PSVExecutionTrace,
     PSVICDResult,
@@ -26,9 +35,23 @@ from repro.core.psv_icd import (
 from repro.core.selection import SVSelector
 from repro.core.supervoxel import SuperVoxel, SuperVoxelGrid
 from repro.core.sv_engine import SVUpdateStats, process_supervoxel
-from repro.core.voxel_update import SliceUpdater, compute_thetas, solve_surrogate
+from repro.core.voxel_update import (
+    SliceUpdater,
+    compute_thetas,
+    solve_surrogate,
+    solve_surrogate_scalar,
+)
 
 __all__ = [
+    "HAVE_NUMBA",
+    "KERNELS",
+    "KernelContext",
+    "resolve_kernel",
+    "run_sweep",
+    "run_sv_visit",
+    "run_wave_fused",
+    "shared_neighborhood",
+    "solve_surrogate_scalar",
     "RMSE_CONVERGED_HU",
     "IterationRecord",
     "RunHistory",

@@ -39,13 +39,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.prior import Neighborhood, Prior
+from repro.core import kernels
+from repro.core.prior import Prior, shared_neighborhood
 from repro.core.supervoxel import SuperVoxelGrid
 from repro.core.sv_engine import SVUpdateStats, process_supervoxel
 from repro.core.voxel_update import SliceUpdater
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
-from repro.utils import check_positive
+from repro.utils import check_positive, resolve_rng
 
 __all__ = ["SVWaveTask", "SVWaveResult", "SerialBackend", "ThreadBackend", "ProcessBackend", "run_wave"]
 
@@ -58,6 +59,7 @@ class SVWaveTask:
     seed: int
     zero_skip: bool = True
     stale_width: int = 1
+    kernel: str = "python"  # already resolved (see kernels.resolve_kernel)
 
 
 @dataclass
@@ -91,6 +93,7 @@ def _process_one(
         rng=task.seed,
         zero_skip=task.zero_skip,
         stale_width=task.stale_width,
+        kernel=task.kernel,
     )
     return SVWaveResult(
         sv_index=task.sv_index,
@@ -135,10 +138,57 @@ class SerialBackend:
         """Process ``tasks`` against a common snapshot; merge; return stats."""
         x_snapshot = x.copy()
         e_snapshot = e.copy()
-        results = [
-            _process_one(t, self.updater, self.grid, x_snapshot, e_snapshot) for t in tasks
-        ]
+        if tasks and kernels.HAVE_NUMBA and all(t.kernel == "numba" for t in tasks):
+            # The whole wave runs as one prange-parallel compiled call —
+            # snapshot isolation maps 1:1 onto the kernel's per-SV x.copy().
+            results = self._run_wave_fused(tasks, x_snapshot, e_snapshot)
+        else:
+            results = [
+                _process_one(t, self.updater, self.grid, x_snapshot, e_snapshot)
+                for t in tasks
+            ]
         return _merge(results, self.grid, x, e, x_snapshot)
+
+    def _run_wave_fused(
+        self, tasks: list[SVWaveTask], x_snapshot: np.ndarray, e_snapshot: np.ndarray
+    ) -> list[SVWaveResult]:
+        """All-numba wave via :func:`repro.core.kernels.run_wave_fused`.
+
+        Visit orders are drawn here from each task's seed, exactly as
+        :func:`process_supervoxel` would, so the fused wave consumes the
+        same RNG streams and produces the same iterates as per-task
+        execution.
+        """
+        ctx = self.updater.context()
+        svs = [self.grid.svs[t.sv_index] for t in tasks]
+        orders = [resolve_rng(t.seed).permutation(sv.n_voxels) for t, sv in zip(tasks, svs)]
+        out = kernels.run_wave_fused(
+            ctx,
+            self.grid,
+            [t.sv_index for t in tasks],
+            orders,
+            x_snapshot,
+            e_snapshot,
+            zero_skip_flags=[t.zero_skip for t in tasks],
+            stale_widths=[t.stale_width for t in tasks],
+        )
+        results = []
+        for t, sv, (xvals, svb_delta, updates, skipped, tad) in zip(tasks, svs, out):
+            results.append(
+                SVWaveResult(
+                    sv_index=t.sv_index,
+                    voxel_indices=sv.voxels.copy(),
+                    voxel_values=xvals,
+                    svb_delta=svb_delta,
+                    stats=SVUpdateStats(
+                        sv_index=sv.index,
+                        updates=updates,
+                        skipped=skipped,
+                        total_abs_delta=tad,
+                    ),
+                )
+            )
+        return results
 
     def close(self) -> None:
         """Nothing to release."""
@@ -179,7 +229,7 @@ _WORKER_STATE: dict = {}
 
 def _worker_init(scan: ScanData, system: SystemMatrix, prior: Prior,
                  sv_side: int, overlap: int, positivity: bool) -> None:
-    neighborhood = Neighborhood(system.geometry.n_pixels)
+    neighborhood = shared_neighborhood(system.geometry.n_pixels)
     updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
     grid = SuperVoxelGrid(system, sv_side, overlap=overlap)
     _WORKER_STATE["updater"] = updater
@@ -214,7 +264,7 @@ class ProcessBackend:
     ) -> None:
         check_positive("n_workers", n_workers)
         # Local mirror for merging (the grid is deterministic).
-        neighborhood = Neighborhood(system.geometry.n_pixels)
+        neighborhood = shared_neighborhood(system.geometry.n_pixels)
         self.updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
         self.grid = SuperVoxelGrid(system, sv_side, overlap=overlap)
         self._pool = concurrent.futures.ProcessPoolExecutor(
@@ -250,6 +300,7 @@ def run_wave(
     base_seed: int = 0,
     zero_skip: bool = True,
     stale_width: int = 1,
+    kernel: str = "python",
 ) -> list[SVUpdateStats]:
     """Convenience wrapper: build tasks (stable per-SV seeds) and run them."""
     tasks = [
@@ -258,6 +309,7 @@ def run_wave(
             seed=base_seed * 1_000_003 + int(s),
             zero_skip=zero_skip,
             stale_width=stale_width,
+            kernel=kernel,
         )
         for s in sv_indices
     ]

@@ -36,7 +36,8 @@ import numpy as np
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
 from repro.core.icd import ICDResult, default_prior, initial_image
-from repro.core.prior import Neighborhood, Prior
+from repro.core.kernels import resolve_kernel
+from repro.core.prior import Neighborhood, Prior, shared_neighborhood
 from repro.core.selection import SVSelector
 from repro.core.supervoxel import SuperVoxelGrid
 from repro.core.sv_engine import SVUpdateStats, process_supervoxel
@@ -146,18 +147,25 @@ def gpu_icd_reconstruct(
     seed: int | np.random.Generator | None = 0,
     track_cost: bool = True,
     grid: SuperVoxelGrid | None = None,
+    kernel: str | None = "auto",
+    neighborhood: Neighborhood | None = None,
 ) -> GPUICDResult:
     """Reconstruct with the GPU-ICD algorithm (Alg. 3).
 
     The intra-SV concurrency width equals ``params.threadblocks_per_sv``
     (each threadblock has one voxel in flight at a time); inter-SV
     concurrency equals the batch, whose SVBs all snapshot the error sinogram
-    at batch start.
+    at batch start.  ``kernel`` selects the inner-loop implementation
+    (``"auto"``/``"python"``/``"vectorized"``/``"numba"``); all kernels
+    produce bit-identical iterates.  ``neighborhood`` optionally passes a
+    prebuilt table (defaults to the process-wide shared instance).
     """
     params = params if params is not None else GPUICDParams()
     prior = prior if prior is not None else default_prior()
     geometry = system.geometry
-    neighborhood = Neighborhood(geometry.n_pixels)
+    if neighborhood is None:
+        neighborhood = shared_neighborhood(geometry.n_pixels)
+    kernel = resolve_kernel(kernel, prior)
     updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
     rng = resolve_rng(seed)
 
@@ -212,6 +220,7 @@ def gpu_icd_reconstruct(
                         rng=rng,
                         zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
                         stale_width=params.threadblocks_per_sv,
+                        kernel=kernel,
                     )
                     selector.record_update(sv.index, stats.total_abs_delta)
                     batch_stats.append(stats)

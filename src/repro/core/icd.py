@@ -20,7 +20,8 @@ import numpy as np
 
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
-from repro.core.prior import Neighborhood, Prior, QGGMRFPrior
+from repro.core.kernels import resolve_kernel, run_sweep
+from repro.core.prior import Neighborhood, Prior, QGGMRFPrior, shared_neighborhood
 from repro.core.voxel_update import SliceUpdater
 from repro.ct.fbp import fbp_reconstruct
 from repro.ct.phantoms import MU_WATER
@@ -83,6 +84,8 @@ def icd_reconstruct(
     positivity: bool = True,
     seed: int | np.random.Generator | None = 0,
     track_cost: bool = True,
+    kernel: str | None = "auto",
+    neighborhood: Neighborhood | None = None,
 ) -> ICDResult:
     """Reconstruct by sequential ICD.
 
@@ -109,16 +112,25 @@ def icd_reconstruct(
     track_cost:
         Evaluate the MAP cost each outer iteration (costs one forward
         projection; disable in benchmarks).
+    kernel:
+        Inner-loop implementation: ``"auto"`` (default), ``"python"``,
+        ``"vectorized"`` or ``"numba"``.  All kernels produce bit-identical
+        iterates (see :mod:`repro.core.kernels`).
+    neighborhood:
+        Optionally a prebuilt :class:`Neighborhood`; defaults to the
+        process-wide shared instance for this image size.
     """
     prior = prior if prior is not None else default_prior()
     geometry = system.geometry
-    neighborhood = Neighborhood(geometry.n_pixels)
+    if neighborhood is None:
+        neighborhood = shared_neighborhood(geometry.n_pixels)
+    kernel = resolve_kernel(kernel, prior)
     updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
+    ctx = updater.context()  # hoisted per-voxel footprint views + kernel state
     rng = resolve_rng(seed)
 
     x = initial_image(scan, init=init).ravel().copy()
     e = updater.initial_error(x)
-    indices = updater.system.matrix.indices  # footprint = global sinogram rows
 
     history = RunHistory()
     n_voxels = geometry.n_voxels
@@ -127,17 +139,11 @@ def icd_reconstruct(
     while total_updates < max_equits * n_voxels:
         iteration += 1
         order = rng.permutation(n_voxels)
-        updates = 0
         # Zero-skipping is suspended on the first iteration so a zero
         # (air) initialisation can bootstrap; afterwards a voxel whose
         # whole neighborhood is zero can never change and is skipped.
         skip_active = zero_skip and iteration > 1
-        for j in order:
-            if skip_active and updater.should_skip(j, x):
-                continue
-            sl = updater.column_slice(j)
-            updater.update_voxel(j, x, e, indices[sl])
-            updates += 1
+        updates = run_sweep(ctx, order, x, e, zero_skip=skip_active, kernel=kernel)
         total_updates += updates
         img = x.reshape(geometry.n_pixels, geometry.n_pixels)
         cost = (

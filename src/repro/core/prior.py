@@ -25,13 +25,15 @@ descent that the ICD literature (and our property tests) rely on.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from repro.utils import check_positive
 
-__all__ = ["Prior", "QuadraticPrior", "QGGMRFPrior", "Neighborhood"]
+__all__ = ["Prior", "QuadraticPrior", "QGGMRFPrior", "Neighborhood", "shared_neighborhood"]
 
 
 class Prior:
@@ -48,6 +50,23 @@ class Prior:
         neighbor weight ``b_k``.
         """
         raise NotImplementedError
+
+    def influence_ratio_scalar(self, delta: float) -> float:
+        """Scalar influence ratio with *canonical* (libm) arithmetic.
+
+        The kernel layer (:mod:`repro.core.kernels`) requires that every
+        kernel — interpreted, vectorized NumPy, and compiled Numba — produce
+        bit-identical iterates.  NumPy's vectorized transcendentals are not
+        bit-identical to the scalar libm calls a compiled kernel emits, so
+        the canonical definition of the update math evaluates the influence
+        ratio one scalar at a time.  Subclasses whose ratio involves
+        transcendentals must override this with an explicit ``math``-module
+        formula (see :class:`QGGMRFPrior`); the default falls back to the
+        array implementation, which keeps custom priors usable by the
+        ``python`` and ``vectorized`` kernels (the Numba kernel only
+        supports the priors it can compile).
+        """
+        return float(self.influence_ratio(np.float64(delta)))
 
 
 @dataclass(frozen=True)
@@ -71,6 +90,9 @@ class QuadraticPrior(Prior):
     def influence_ratio(self, delta: np.ndarray) -> np.ndarray:
         d = np.asarray(delta, dtype=np.float64)
         return np.full_like(d, 1.0 / (2.0 * self.sigma**2))
+
+    def influence_ratio_scalar(self, delta: float) -> float:
+        return 1.0 / (2.0 * self.sigma * self.sigma)
 
 
 @dataclass(frozen=True)
@@ -112,6 +134,35 @@ class QGGMRFPrior(Prior):
         r = np.abs(d) / (self.T * self.sigma)
         rq = r ** (2.0 - self.q)
         return (1.0 + 0.5 * self.q * rq) / (2.0 * self.sigma**2 * (1.0 + rq) ** 2)
+
+    def surrogate_coeffs(self) -> tuple[float, float, float, float]:
+        """Hoisted constants ``(tsig, c0, hq, p)`` of the canonical scalar form.
+
+        The canonical scalar ratio is::
+
+            r  = abs(d) / tsig          tsig = T * sigma
+            rq = pow(r, p)              p    = 2 - q
+            (1 + hq * rq) / (c0 * ((1 + rq) * (1 + rq)))
+                                        hq   = q / 2,  c0 = 2 * sigma^2
+
+        Every kernel must evaluate exactly these expressions in exactly
+        this association order — hoisting ``2 * sigma^2`` differently (for
+        example as ``(2 * sigma) * sigma``) changes the last ulp and breaks
+        cross-kernel bit-equality.
+        """
+        return (
+            self.T * self.sigma,
+            2.0 * (self.sigma * self.sigma),
+            0.5 * self.q,
+            2.0 - self.q,
+        )
+
+    def influence_ratio_scalar(self, delta: float) -> float:
+        tsig, c0, hq, p = self.surrogate_coeffs()
+        r = abs(delta) / tsig
+        rq = math.pow(r, p)
+        t = 1.0 + rq
+        return (1.0 + hq * rq) / (c0 * (t * t))
 
 
 # Offsets (drow, dcol) and the conventional 8-neighborhood weights: side
@@ -183,3 +234,16 @@ class Neighborhood:
             diffs.append(d.ravel())
             weights.append(np.full(d.size, w))
         return np.concatenate(diffs), np.concatenate(weights)
+
+
+@lru_cache(maxsize=8)
+def shared_neighborhood(n: int) -> Neighborhood:
+    """Process-wide cached :class:`Neighborhood` for an ``(n, n)`` raster.
+
+    The table is a pure function of ``n`` (``(n^2, 8)`` int64 plus the
+    weights) and every driver needs one, so the reconstruction entry points
+    share a single instance instead of rebuilding it per call.  Callers must
+    treat the cached instance as **read-only**; anything that needs to mutate
+    the tables should construct its own ``Neighborhood(n)``.
+    """
+    return Neighborhood(n)

@@ -31,7 +31,8 @@ import numpy as np
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
 from repro.core.icd import ICDResult, default_prior, initial_image
-from repro.core.prior import Neighborhood, Prior
+from repro.core.kernels import resolve_kernel
+from repro.core.prior import Neighborhood, Prior, shared_neighborhood
 from repro.core.selection import SVSelector
 from repro.core.supervoxel import SuperVoxelGrid
 from repro.core.sv_engine import SVUpdateStats, process_supervoxel
@@ -98,6 +99,8 @@ def psv_icd_reconstruct(
     seed: int | np.random.Generator | None = 0,
     track_cost: bool = True,
     grid: SuperVoxelGrid | None = None,
+    kernel: str | None = "auto",
+    neighborhood: Neighborhood | None = None,
 ) -> PSVICDResult:
     """Reconstruct with the PSV-ICD algorithm (Alg. 2).
 
@@ -114,11 +117,19 @@ def psv_icd_reconstruct(
     grid:
         Optionally a prebuilt :class:`SuperVoxelGrid` (grids are geometry
         -static, so sweeps over other parameters can share one).
+    kernel:
+        Inner-loop implementation (``"auto"``/``"python"``/``"vectorized"``/
+        ``"numba"``); all kernels produce bit-identical iterates.
+    neighborhood:
+        Optionally a prebuilt :class:`Neighborhood`; defaults to the
+        process-wide shared instance for this image size.
     """
     check_positive("n_cores", n_cores)
     prior = prior if prior is not None else default_prior()
     geometry = system.geometry
-    neighborhood = Neighborhood(geometry.n_pixels)
+    if neighborhood is None:
+        neighborhood = shared_neighborhood(geometry.n_pixels)
+    kernel = resolve_kernel(kernel, prior)
     updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
     rng = resolve_rng(seed)
 
@@ -156,6 +167,7 @@ def psv_icd_reconstruct(
                     sv, updater, x, svb, rng=rng,
                     zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
                     stale_width=1,
+                    kernel=kernel,
                 )
                 selector.record_update(sv.index, stats.total_abs_delta)
                 wave_stats.append(stats)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.kernels import run_sv_visit
 from repro.core.supervoxel import SuperVoxel
 from repro.core.voxel_update import SliceUpdater
 from repro.utils import resolve_rng
@@ -50,16 +51,41 @@ def process_supervoxel(
     rng: np.random.Generator | int | None = None,
     zero_skip: bool = True,
     stale_width: int = 1,
+    kernel: str = "python",
 ) -> SVUpdateStats:
     """Update all member voxels of ``sv`` against the flat SVB ``svb``.
 
     ``x_flat`` and ``svb`` are mutated in place; the caller owns snapshotting
     the SVB and merging the delta back into the global error sinogram.
+
+    ``kernel`` selects the execution path (already resolved by the driver;
+    see :func:`repro.core.kernels.resolve_kernel`).  The visit order is
+    drawn from ``rng`` *before* dispatch, so every kernel consumes the same
+    stream and — by the kernel layer's bit-exactness contract — produces
+    the same iterates as the ``python`` path.
     """
     if stale_width < 1:
         raise ValueError(f"stale_width must be >= 1, got {stale_width}")
     rng = resolve_rng(rng)
     order = rng.permutation(sv.n_voxels)
+
+    if kernel != "python":
+        updates, skipped, total_abs_delta = run_sv_visit(
+            updater.context(),
+            sv,
+            order,
+            x_flat,
+            svb,
+            zero_skip=zero_skip,
+            stale_width=stale_width,
+            kernel=kernel,
+        )
+        return SVUpdateStats(
+            sv_index=sv.index,
+            updates=updates,
+            skipped=skipped,
+            total_abs_delta=total_abs_delta,
+        )
 
     updates = 0
     skipped = 0

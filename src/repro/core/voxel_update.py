@@ -18,6 +18,25 @@ Two data-independent quantities are hoisted out of the iteration loop by
 The same updater serves the sequential driver (footprint indices into the
 global error sinogram) and the SuperVoxel drivers (footprint indices into a
 private SVB): the caller passes whichever index array matches the buffer.
+
+Canonical arithmetic
+--------------------
+Since the kernel layer (:mod:`repro.core.kernels`) was introduced, the
+update math follows a *canonical arithmetic contract* so that the
+interpreted path here, the vectorized NumPy kernel, and the compiled Numba
+kernel produce **bit-identical** iterates:
+
+* every reduction (the theta1 dot product, the two neighbor sums) is a
+  strict left-to-right sequential sum.  NumPy realises this with
+  ``np.cumsum`` (verified bit-equal to a scalar accumulation loop), never
+  with ``np.sum`` / ``@`` / ``np.add.reduceat``, whose pairwise/SIMD
+  orderings a compiled scalar loop cannot reproduce;
+* transcendentals (the q-GGMRF ``pow``) are evaluated one scalar at a time
+  through libm (``math.pow``), which is what compiled code emits — NumPy's
+  vectorized pow is elementwise-deterministic but *not* libm-identical;
+* the fused products ``wa`` and the column values ``a_data`` are stored in
+  the system matrix's dtype (float32 halves the hot-path working set) and
+  every accumulation upcasts them entry-wise to float64.
 """
 
 from __future__ import annotations
@@ -30,7 +49,7 @@ from repro.core.prior import Neighborhood, Prior
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
 
-__all__ = ["compute_thetas", "solve_surrogate", "SliceUpdater"]
+__all__ = ["compute_thetas", "solve_surrogate", "solve_surrogate_scalar", "SliceUpdater"]
 
 
 def compute_thetas(
@@ -56,7 +75,13 @@ def solve_surrogate(
     *,
     positivity: bool = True,
 ) -> float:
-    """Minimise the local surrogate — the paper's "computationally inexpensive func"."""
+    """Minimise the local surrogate — the paper's "computationally inexpensive func".
+
+    This is the readable array-form *specification*; the drivers run
+    :func:`solve_surrogate_scalar`, whose strict-sequential arithmetic is
+    reproducible bit-for-bit by the compiled kernels.  The two agree to the
+    last few ulps (they differ only in summation order and pow provenance).
+    """
     btilde = neighbor_weights * prior.influence_ratio(v - neighbor_values)
     denom = theta2 + 2.0 * float(np.sum(btilde))
     if denom <= 0.0:
@@ -66,6 +91,40 @@ def solve_surrogate(
     u = v + numer / denom
     if positivity:
         u = max(u, 0.0)
+    return u
+
+
+def solve_surrogate_scalar(
+    v: float,
+    theta1: float,
+    theta2: float,
+    neighbor_values,
+    neighbor_weights,
+    prior: Prior,
+    *,
+    positivity: bool = True,
+) -> float:
+    """Canonical scalar surrogate solve (see the module docstring).
+
+    ``neighbor_values`` / ``neighbor_weights`` are sequences of floats;
+    entries with weight 0 are exact no-ops on both sums, which is what lets
+    the vectorized kernel pad every voxel's neighborhood to a fixed width 8
+    and still match this function bit-for-bit.
+    """
+    s1 = 0.0
+    s2 = 0.0
+    ratio = prior.influence_ratio_scalar
+    for xk, wk in zip(neighbor_values, neighbor_weights):
+        btl = wk * ratio(v - xk)
+        s1 += btl
+        s2 += btl * (xk - v)
+    denom = theta2 + 2.0 * s1
+    if denom <= 0.0:
+        # A voxel with no measurements and no neighbors: leave unchanged.
+        return v
+    u = v + (-theta1 + 2.0 * s2) / denom
+    if positivity and u < 0.0:
+        u = 0.0
     return u
 
 
@@ -94,10 +153,17 @@ class SliceUpdater:
     def __post_init__(self) -> None:
         A = self.system.matrix
         w_flat = self.scan.weights.ravel()
-        a = A.data.astype(np.float64)
+        a64 = A.data.astype(np.float64)
         w_at_rows = w_flat[A.indices]
+        wa64 = w_at_rows * a64
+        # Hot-path storage dtype follows the system matrix: a float32 A
+        # (the builder's default) gives float32 wa/a_data, halving the
+        # per-update gather traffic.  Accumulation always upcasts entry-wise
+        # to float64, and theta2 is computed from the full-precision
+        # products *before* the storage rounding.
+        store_dtype = A.data.dtype if A.data.dtype == np.float32 else np.float64
         #: fused w*A products, aligned with the CSC storage of ``A``.
-        self.wa = w_at_rows * a
+        self.wa = wa64.astype(store_dtype)
         #: per-voxel theta2 = sum w * A^2 (constant across the run).
         if A.nnz == 0:
             self.theta2 = np.zeros(A.shape[1], dtype=np.float64)
@@ -105,9 +171,10 @@ class SliceUpdater:
             # reduceat with an empty segment repeats the next value (and an
             # out-of-bounds start raises); clamp starts and mask empties to 0.
             starts = np.minimum(A.indptr[:-1], A.nnz - 1)
-            self.theta2 = np.add.reduceat(self.wa * a, starts) * (np.diff(A.indptr) > 0)
+            self.theta2 = np.add.reduceat(wa64 * a64, starts) * (np.diff(A.indptr) > 0)
         self.indptr = A.indptr
-        self.a_data = a
+        self.a_data = A.data if store_dtype == np.float32 else a64
+        self._context = None  # lazily built kernel-layer view (kernels.py)
 
     # ------------------------------------------------------------------
     def column_slice(self, voxel: int) -> slice:
@@ -136,7 +203,12 @@ class SliceUpdater:
         sl = self.column_slice(voxel)
         wa = self.wa[sl]
         e_vals = buffer[footprint_idx]
-        theta1 = -float(wa @ e_vals)
+        if wa.size:
+            # Canonical strict-sequential dot (cumsum, not BLAS — see module
+            # docstring); float32 wa upcasts entry-wise before accumulating.
+            theta1 = -float(np.cumsum(wa * e_vals)[-1])
+        else:
+            theta1 = 0.0
         theta2 = float(self.theta2[voxel])
 
         v = float(x_flat[voxel])
@@ -144,8 +216,14 @@ class SliceUpdater:
         valid = nb_idx >= 0
         nb_vals = x_flat[nb_idx[valid]]
         nb_wts = self.neighborhood.weights[valid]
-        return solve_surrogate(
-            v, theta1, theta2, nb_vals, nb_wts, self.prior, positivity=self.positivity
+        return solve_surrogate_scalar(
+            v,
+            theta1,
+            theta2,
+            nb_vals.tolist(),
+            nb_wts.tolist(),
+            self.prior,
+            positivity=self.positivity,
         )
 
     def apply_update(
@@ -161,7 +239,9 @@ class SliceUpdater:
         if delta != 0.0:
             x_flat[voxel] = new_value
             sl = self.column_slice(voxel)
-            buffer[footprint_idx] -= self.a_data[sl] * delta
+            # np.float64, not the bare python float: NEP 50 would otherwise
+            # compute a float32 product against float32 a_data.
+            buffer[footprint_idx] -= self.a_data[sl] * np.float64(delta)
         return delta
 
     def update_voxel(
@@ -189,6 +269,21 @@ class SliceUpdater:
         """
         u = self.propose_update(voxel, x_flat, buffer, footprint_idx)
         return self.apply_update(voxel, u, x_flat, buffer, footprint_idx)
+
+    def context(self):
+        """The kernel-layer view of this updater (cached).
+
+        Returns a :class:`repro.core.kernels.KernelContext` holding the flat
+        hoisted buffers (per-voxel footprint views, padded neighborhood
+        tables, prior constants, scratch) that the ``vectorized`` and
+        ``numba`` kernels execute over.  Imported lazily to keep this module
+        free of the (optional) compiled-kernel machinery.
+        """
+        if self._context is None:
+            from repro.core.kernels import KernelContext
+
+            self._context = KernelContext(self)
+        return self._context
 
     def should_skip(self, voxel: int, x_flat: np.ndarray) -> bool:
         """Zero-skipping test (§2.1): voxel and all its neighbors are zero."""

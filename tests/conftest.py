@@ -44,6 +44,12 @@ def system32(geom32):
 
 
 @pytest.fixture(scope="session")
+def phantom16():
+    """Shepp-Logan at 16^2."""
+    return shepp_logan(16)
+
+
+@pytest.fixture(scope="session")
 def phantom32():
     """Shepp-Logan at 32^2."""
     return shepp_logan(32)
