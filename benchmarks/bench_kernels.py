@@ -23,10 +23,18 @@ so the vectorized kernel lands around 2-3x the hoisted oracle (and ~3x the
 pre-kernel-layer baseline) rather than the 10x+ a compiled kernel reaches.
 We hard-assert >= 2x over the oracle as the regression guard, and >= 10x
 for Numba where available.
+
+Emit mode: set ``REPRO_BENCH_JSON=path.json`` to additionally write the
+measured numbers as a machine-readable report (CI uploads it as the
+``BENCH_<pr>.json`` perf-trajectory artifact; the checked-in ``BENCH_2.json``
+was produced this way).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import time
 
 import numpy as np
@@ -105,6 +113,31 @@ def _time_sv_wave(contender, kctx, updater, grid, x0, e0, stale_width):
     return total / dt
 
 
+def _emit_json(path, n_pixels, sv_side, stale_width, best, wave_best):
+    """Write the measured throughputs as the perf-trajectory JSON report."""
+    oracle = best["python"]
+    payload = {
+        "bench": "kernels",
+        "pixels": n_pixels,
+        "trials": TRIALS,
+        "numba": HAVE_NUMBA,
+        "python": platform.python_version(),
+        "sweep_updates_per_s": {k: round(v, 1) for k, v in best.items()},
+        "sweep_speedup_vs_python": {k: round(v / oracle, 3) for k, v in best.items()},
+        "wave": {
+            "stale_width": stale_width,
+            "sv_side": sv_side,
+            "updates_per_s": {k: round(v, 1) for k, v in wave_best.items()},
+            "speedup_vs_python": {
+                k: round(v / wave_best["python"], 3) for k, v in wave_best.items()
+            },
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
 def bench_kernels(ctx):
     case = ctx.cases[0]
     scan = ctx.scan(case)
@@ -161,6 +194,10 @@ def bench_kernels(ctx):
             f"{c:12s} {wave_best[c]:12.0f} {wave_best[c] / wave_best['python']:9.2f}x"
         )
     report("KERNELS — voxel-updates/sec per kernel", "\n".join(lines))
+
+    emit_path = os.environ.get("REPRO_BENCH_JSON")
+    if emit_path:
+        _emit_json(emit_path, n, grid.sv_side, stale, best, wave_best)
 
     assert best["vectorized"] >= VEC_MIN_SPEEDUP * oracle, (
         f"vectorized kernel regressed: {best['vectorized']:.0f} vs "

@@ -80,6 +80,7 @@ from repro.gpusim import (
     GPUTimingModel,
     occupancy,
 )
+from repro.observability import MetricsRecorder, NullRecorder
 
 __version__ = "1.0.0"
 
@@ -123,4 +124,7 @@ __all__ = [
     "GPUKernelConfig",
     "GPUTimingModel",
     "CPUTimingModel",
+    # observability
+    "MetricsRecorder",
+    "NullRecorder",
 ]

@@ -54,12 +54,18 @@ class RunHistory:
     """Full history of a reconstruction run.
 
     ``records[i]`` describes outer iteration ``i + 1``.  ``converged_equits``
-    is filled by the driver when the RMSE threshold is first crossed.
+    is filled by the driver when the RMSE threshold is first crossed;
+    ``converged_threshold_hu`` records *which* threshold that was.  Drivers
+    pass their caller's ``stop_rmse`` here, so a run stopped at e.g. 50 HU
+    is "converged" against a much laxer bar than the paper's 10 HU
+    (:data:`RMSE_CONVERGED_HU`) — reports must read the threshold alongside
+    the equits to avoid silently conflating the two.
     """
 
     records: list[IterationRecord] = field(default_factory=list)
     converged_equits: float | None = None
     converged_iteration: int | None = None
+    converged_threshold_hu: float | None = None
 
     def append(self, record: IterationRecord) -> None:
         """Record one outer iteration."""
@@ -86,9 +92,15 @@ class RunHistory:
         return np.array([r.equits for r in self.records])
 
     def mark_converged_if_below(self, threshold: float) -> None:
-        """Fill the convergence fields from the first record under ``threshold``."""
+        """Fill the convergence fields from the first record under ``threshold``.
+
+        The threshold actually applied is recorded in
+        ``converged_threshold_hu`` whether or not any record crosses it, so
+        a consumer can always tell which bar a (non-)convergence refers to.
+        """
         if self.converged_equits is not None:
             return
+        self.converged_threshold_hu = float(threshold)
         for r in self.records:
             if r.rmse is not None and r.rmse < threshold:
                 self.converged_equits = r.equits

@@ -44,6 +44,7 @@ from repro.core.sv_engine import SVUpdateStats, process_supervoxel
 from repro.core.voxel_update import SliceUpdater
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
+from repro.observability import MetricsRecorder, as_recorder
 from repro.utils import check_positive, resolve_rng
 
 __all__ = [
@@ -149,6 +150,7 @@ def gpu_icd_reconstruct(
     grid: SuperVoxelGrid | None = None,
     kernel: str | None = "auto",
     neighborhood: Neighborhood | None = None,
+    metrics: MetricsRecorder | None = None,
 ) -> GPUICDResult:
     """Reconstruct with the GPU-ICD algorithm (Alg. 3).
 
@@ -159,9 +161,20 @@ def gpu_icd_reconstruct(
     (``"auto"``/``"python"``/``"vectorized"``/``"numba"``); all kernels
     produce bit-identical iterates.  ``neighborhood`` optionally passes a
     prebuilt table (defaults to the process-wide shared instance).
+
+    ``metrics`` optionally passes a
+    :class:`~repro.observability.MetricsRecorder`: each outer iteration
+    records a span whose children are per-batch ``kernel_batch`` spans with
+    the three Alg. 3 kernel phases — ``extract`` (SVB creation), ``update``
+    (the MBIR kernel), ``merge`` (the atomic write-back) — plus
+    per-kernel-flavor counters; the recorder is attached to the result and
+    can be joined against the timing model via
+    :meth:`repro.gpusim.timing.GPUTimingModel.measured_vs_modeled`.
+    Instrumentation never changes iterates.
     """
     params = params if params is not None else GPUICDParams()
     prior = prior if prior is not None else default_prior()
+    rec = as_recorder(metrics)
     geometry = system.geometry
     if neighborhood is None:
         neighborhood = shared_neighborhood(geometry.n_pixels)
@@ -187,56 +200,76 @@ def gpu_icd_reconstruct(
         selected = set(int(s) for s in selector.select(iteration, rng))
         iter_updates = 0
         iter_svs = 0
-        for group_id in range(4):
-            group_svs = [sv for sv in checkerboard[group_id] if sv in selected]
-            rng.shuffle(group_svs)
-            for start in range(0, len(group_svs), params.batch_size):
-                batch = group_svs[start : start + params.batch_size]
-                if start > 0 and len(batch) < params.threshold and iteration > 1:
-                    # Under-filled *trailing* launch suppressed (§3.2) — the
-                    # deferred SVs are picked up by a later selection.  The
-                    # first launch of a group always runs (a group smaller
-                    # than the threshold would otherwise starve forever),
-                    # and iteration 1 is exempt so every SV is touched once.
-                    trace.skipped_launches += 1
-                    break
-                # Kernel 1: create all SVBs of the batch from the current e.
-                svbs = []
-                originals = []
-                for sv_id in batch:
-                    svb = grid.svs[sv_id].extract(e)
-                    originals.append(svb.copy())
-                    svbs.append(svb)
-                # Kernel 2: the MBIR kernel — all SVs update concurrently,
-                # each with `threadblocks_per_sv` voxels in flight.
-                batch_stats = []
-                for sv_id, svb in zip(batch, svbs):
-                    sv = grid.svs[sv_id]
-                    stats = process_supervoxel(
-                        sv,
-                        updater,
-                        x,
-                        svb,
-                        rng=rng,
-                        zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
-                        stale_width=params.threadblocks_per_sv,
-                        kernel=kernel,
+        with rec.span("iteration", index=iteration):
+            for group_id in range(4):
+                group_svs = [sv for sv in checkerboard[group_id] if sv in selected]
+                rng.shuffle(group_svs)
+                for start in range(0, len(group_svs), params.batch_size):
+                    batch = group_svs[start : start + params.batch_size]
+                    if start > 0 and len(batch) < params.threshold and iteration > 1:
+                        # Under-filled *trailing* launch suppressed (§3.2) — the
+                        # deferred SVs are picked up by a later selection.  The
+                        # first launch of a group always runs (a group smaller
+                        # than the threshold would otherwise starve forever),
+                        # and iteration 1 is exempt so every SV is touched once.
+                        trace.skipped_launches += 1
+                        rec.count("gpu.skipped_launches", 1)
+                        break
+                    with rec.span("kernel_batch", group=group_id, svs=len(batch)):
+                        # Kernel 1: create all SVBs of the batch from the
+                        # current e.
+                        svbs = []
+                        originals = []
+                        with rec.span("extract"):
+                            for sv_id in batch:
+                                svb = grid.svs[sv_id].extract(e)
+                                originals.append(svb.copy())
+                                svbs.append(svb)
+                        # Kernel 2: the MBIR kernel — all SVs update
+                        # concurrently, each with `threadblocks_per_sv`
+                        # voxels in flight.
+                        batch_stats = []
+                        with rec.span("update"):
+                            for sv_id, svb in zip(batch, svbs):
+                                sv = grid.svs[sv_id]
+                                stats = process_supervoxel(
+                                    sv,
+                                    updater,
+                                    x,
+                                    svb,
+                                    rng=rng,
+                                    zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
+                                    stale_width=params.threadblocks_per_sv,
+                                    kernel=kernel,
+                                    metrics=rec,
+                                )
+                                selector.record_update(sv.index, stats.total_abs_delta)
+                                batch_stats.append(stats)
+                                iter_updates += stats.updates
+                        iter_svs += len(batch)
+                        # Kernel 3: atomic error-sinogram merge for the whole
+                        # batch.
+                        with rec.span("merge"):
+                            for sv_id, svb, orig in zip(batch, svbs, originals):
+                                grid.svs[sv_id].accumulate_delta(svb, orig, e)
+                    if rec.enabled:
+                        rec.count("gpu.batches", 1)
+                        rec.count("gpu.svs", len(batch))
+                    trace.kernels.append(
+                        KernelTrace(
+                            iteration=iteration, group=group_id, sv_stats=tuple(batch_stats)
+                        )
                     )
-                    selector.record_update(sv.index, stats.total_abs_delta)
-                    batch_stats.append(stats)
-                    iter_updates += stats.updates
-                iter_svs += len(batch)
-                # Kernel 3: atomic error-sinogram merge for the whole batch.
-                for sv_id, svb, orig in zip(batch, svbs, originals):
-                    grid.svs[sv_id].accumulate_delta(svb, orig, e)
-                trace.kernels.append(
-                    KernelTrace(iteration=iteration, group=group_id, sv_stats=tuple(batch_stats))
-                )
 
-        total_updates += iter_updates
-        img = x.reshape(geometry.n_pixels, geometry.n_pixels)
-        cost = map_cost(img, scan, system, prior, neighborhood) if track_cost else float("nan")
-        rmse = rmse_hu(img, golden) if golden is not None else None
+            total_updates += iter_updates
+            img = x.reshape(geometry.n_pixels, geometry.n_pixels)
+            with rec.span("bookkeeping"):
+                cost = (
+                    map_cost(img, scan, system, prior, neighborhood)
+                    if track_cost
+                    else float("nan")
+                )
+                rmse = rmse_hu(img, golden) if golden is not None else None
         history.append(
             IterationRecord(
                 iteration=iteration,
@@ -257,6 +290,7 @@ def gpu_icd_reconstruct(
         image=x.reshape(geometry.n_pixels, geometry.n_pixels),
         history=history,
         error_sinogram=e.reshape(geometry.sinogram_shape),
+        metrics=metrics,
         trace=trace,
         grid=grid,
     )

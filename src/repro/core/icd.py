@@ -27,6 +27,7 @@ from repro.ct.fbp import fbp_reconstruct
 from repro.ct.phantoms import MU_WATER
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
+from repro.observability import MetricsRecorder, as_recorder
 from repro.utils import resolve_rng
 
 __all__ = ["ICDResult", "icd_reconstruct", "golden_reconstruction", "default_prior", "initial_image"]
@@ -69,6 +70,8 @@ class ICDResult:
     image: np.ndarray
     history: RunHistory
     error_sinogram: np.ndarray  # final e = y - Ax, shape (n_views, n_channels)
+    #: The recorder passed as ``metrics=`` (None when uninstrumented).
+    metrics: MetricsRecorder | None = None
 
 
 def icd_reconstruct(
@@ -86,6 +89,7 @@ def icd_reconstruct(
     track_cost: bool = True,
     kernel: str | None = "auto",
     neighborhood: Neighborhood | None = None,
+    metrics: MetricsRecorder | None = None,
 ) -> ICDResult:
     """Reconstruct by sequential ICD.
 
@@ -119,8 +123,14 @@ def icd_reconstruct(
     neighborhood:
         Optionally a prebuilt :class:`Neighborhood`; defaults to the
         process-wide shared instance for this image size.
+    metrics:
+        Optionally a :class:`~repro.observability.MetricsRecorder`; when
+        given it records one span per outer iteration (with ``sweep`` and
+        ``bookkeeping`` children) plus per-kernel-flavor counters, and is
+        attached to the result.  Instrumentation never changes iterates.
     """
     prior = prior if prior is not None else default_prior()
+    rec = as_recorder(metrics)
     geometry = system.geometry
     if neighborhood is None:
         neighborhood = shared_neighborhood(geometry.n_pixels)
@@ -143,13 +153,20 @@ def icd_reconstruct(
         # (air) initialisation can bootstrap; afterwards a voxel whose
         # whole neighborhood is zero can never change and is skipped.
         skip_active = zero_skip and iteration > 1
-        updates = run_sweep(ctx, order, x, e, zero_skip=skip_active, kernel=kernel)
-        total_updates += updates
-        img = x.reshape(geometry.n_pixels, geometry.n_pixels)
-        cost = (
-            map_cost(img, scan, system, prior, neighborhood) if track_cost else float("nan")
-        )
-        rmse = rmse_hu(img, golden) if golden is not None else None
+        with rec.span("iteration", index=iteration):
+            with rec.span("sweep"):
+                updates = run_sweep(
+                    ctx, order, x, e, zero_skip=skip_active, kernel=kernel, metrics=rec
+                )
+            total_updates += updates
+            img = x.reshape(geometry.n_pixels, geometry.n_pixels)
+            with rec.span("bookkeeping"):
+                cost = (
+                    map_cost(img, scan, system, prior, neighborhood)
+                    if track_cost
+                    else float("nan")
+                )
+                rmse = rmse_hu(img, golden) if golden is not None else None
         history.append(
             IterationRecord(
                 iteration=iteration,
@@ -170,6 +187,7 @@ def icd_reconstruct(
         image=x.reshape(geometry.n_pixels, geometry.n_pixels),
         history=history,
         error_sinogram=e.reshape(geometry.sinogram_shape),
+        metrics=metrics,
     )
 
 

@@ -59,6 +59,7 @@ import math
 import numpy as np
 
 from repro.core.prior import Prior, QGGMRFPrior, QuadraticPrior
+from repro.observability import NULL_RECORDER
 
 try:  # pragma: no cover - exercised only where numba is installed
     from numba import njit, prange
@@ -372,13 +373,26 @@ def run_sweep(
     *,
     zero_skip: bool,
     kernel: str,
+    metrics=NULL_RECORDER,
 ) -> int:
     """Visit every voxel in ``order`` against the global error sinogram.
 
     Mutates ``x`` and ``e`` in place; returns the number of voxel updates
     performed (zero-skipped voxels excluded).  ``kernel`` must already be
-    resolved (see :func:`resolve_kernel`).
+    resolved (see :func:`resolve_kernel`).  ``metrics`` (a
+    :class:`~repro.observability.MetricsRecorder`) receives per-flavor
+    ``kernel.<flavor>.{sweeps,updates,skipped}`` counters; the default
+    no-op recorder costs one attribute read.
     """
+    updates = _dispatch_sweep(ctx, order, x, e, zero_skip, kernel)
+    if metrics.enabled:
+        metrics.count(f"kernel.{kernel}.sweeps", 1)
+        metrics.count(f"kernel.{kernel}.updates", updates)
+        metrics.count(f"kernel.{kernel}.skipped", order.size - updates)
+    return updates
+
+
+def _dispatch_sweep(ctx, order, x, e, zero_skip, kernel) -> int:
     if kernel == "python":
         return _sweep_python(ctx, order, x, e, zero_skip)
     if kernel == "vectorized":

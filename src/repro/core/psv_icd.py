@@ -39,6 +39,7 @@ from repro.core.sv_engine import SVUpdateStats, process_supervoxel
 from repro.core.voxel_update import SliceUpdater
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
+from repro.observability import MetricsRecorder, as_recorder
 from repro.utils import check_positive, resolve_rng
 
 __all__ = ["PSVWaveTrace", "PSVExecutionTrace", "psv_icd_reconstruct", "PSVICDResult"]
@@ -101,6 +102,7 @@ def psv_icd_reconstruct(
     grid: SuperVoxelGrid | None = None,
     kernel: str | None = "auto",
     neighborhood: Neighborhood | None = None,
+    metrics: MetricsRecorder | None = None,
 ) -> PSVICDResult:
     """Reconstruct with the PSV-ICD algorithm (Alg. 2).
 
@@ -123,9 +125,15 @@ def psv_icd_reconstruct(
     neighborhood:
         Optionally a prebuilt :class:`Neighborhood`; defaults to the
         process-wide shared instance for this image size.
+    metrics:
+        Optionally a :class:`~repro.observability.MetricsRecorder`: records
+        one span per outer iteration with per-wave ``extract`` / ``update``
+        / ``merge`` phase children plus per-kernel-flavor counters, and is
+        attached to the result.  Instrumentation never changes iterates.
     """
     check_positive("n_cores", n_cores)
     prior = prior if prior is not None else default_prior()
+    rec = as_recorder(metrics)
     geometry = system.geometry
     if neighborhood is None:
         neighborhood = shared_neighborhood(geometry.n_pixels)
@@ -149,38 +157,51 @@ def psv_icd_reconstruct(
         iteration += 1
         selected = selector.select(iteration, rng)
         iter_updates = 0
-        for wave_start in range(0, selected.size, n_cores):
-            wave_svs = selected[wave_start : wave_start + n_cores]
-            # Each concurrent core snapshots the error sinogram as of the
-            # start of the wave.
-            svbs = []
-            originals = []
-            for sv_id in wave_svs:
-                sv = grid.svs[int(sv_id)]
-                svb = sv.extract(e)
-                originals.append(svb.copy())
-                svbs.append(svb)
-            wave_stats = []
-            for sv_id, svb in zip(wave_svs, svbs):
-                sv = grid.svs[int(sv_id)]
-                stats = process_supervoxel(
-                    sv, updater, x, svb, rng=rng,
-                    zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
-                    stale_width=1,
-                    kernel=kernel,
+        with rec.span("iteration", index=iteration):
+            for wave_start in range(0, selected.size, n_cores):
+                wave_svs = selected[wave_start : wave_start + n_cores]
+                with rec.span("wave", svs=len(wave_svs)):
+                    # Each concurrent core snapshots the error sinogram as of
+                    # the start of the wave.
+                    svbs = []
+                    originals = []
+                    with rec.span("extract"):
+                        for sv_id in wave_svs:
+                            sv = grid.svs[int(sv_id)]
+                            svb = sv.extract(e)
+                            originals.append(svb.copy())
+                            svbs.append(svb)
+                    wave_stats = []
+                    with rec.span("update"):
+                        for sv_id, svb in zip(wave_svs, svbs):
+                            sv = grid.svs[int(sv_id)]
+                            stats = process_supervoxel(
+                                sv, updater, x, svb, rng=rng,
+                                zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
+                                stale_width=1,
+                                kernel=kernel,
+                                metrics=rec,
+                            )
+                            selector.record_update(sv.index, stats.total_abs_delta)
+                            wave_stats.append(stats)
+                            iter_updates += stats.updates
+                    # Locked merge (Alg. 2 lines 16-19) at the end of the wave.
+                    with rec.span("merge"):
+                        for sv_id, svb, orig in zip(wave_svs, svbs, originals):
+                            grid.svs[int(sv_id)].accumulate_delta(svb, orig, e)
+                trace.waves.append(
+                    PSVWaveTrace(iteration=iteration, sv_stats=tuple(wave_stats))
                 )
-                selector.record_update(sv.index, stats.total_abs_delta)
-                wave_stats.append(stats)
-                iter_updates += stats.updates
-            # Locked merge (Alg. 2 lines 16-19) at the end of the wave.
-            for sv_id, svb, orig in zip(wave_svs, svbs, originals):
-                grid.svs[int(sv_id)].accumulate_delta(svb, orig, e)
-            trace.waves.append(PSVWaveTrace(iteration=iteration, sv_stats=tuple(wave_stats)))
 
-        total_updates += iter_updates
-        img = x.reshape(geometry.n_pixels, geometry.n_pixels)
-        cost = map_cost(img, scan, system, prior, neighborhood) if track_cost else float("nan")
-        rmse = rmse_hu(img, golden) if golden is not None else None
+            total_updates += iter_updates
+            img = x.reshape(geometry.n_pixels, geometry.n_pixels)
+            with rec.span("bookkeeping"):
+                cost = (
+                    map_cost(img, scan, system, prior, neighborhood)
+                    if track_cost
+                    else float("nan")
+                )
+                rmse = rmse_hu(img, golden) if golden is not None else None
         history.append(
             IterationRecord(
                 iteration=iteration,
@@ -201,6 +222,7 @@ def psv_icd_reconstruct(
         image=x.reshape(geometry.n_pixels, geometry.n_pixels),
         history=history,
         error_sinogram=e.reshape(geometry.sinogram_shape),
+        metrics=metrics,
         trace=trace,
         grid=grid,
     )

@@ -16,6 +16,8 @@ SVs to fill the GPU (§3.2).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.utils import check_probability, resolve_rng
@@ -44,7 +46,24 @@ class SVSelector:
         self.update_amounts = np.full(n_svs, np.inf)
 
     def record_update(self, sv_index: int, amount: float) -> None:
-        """Record the total |delta| applied while processing ``sv_index``."""
+        """Record the total |delta| applied while processing ``sv_index``.
+
+        Validates its inputs: a silently accepted out-of-range index would
+        wrap (negative) or raise far from the caller, and a NaN amount
+        poisons the even-iteration top-k sort *permanently* (NaN sorts
+        unpredictably and never compares below any later amount), so both
+        are rejected here with a clear error.
+        """
+        if not 0 <= sv_index < self.n_svs:
+            raise IndexError(
+                f"sv_index must be in [0, {self.n_svs}), got {sv_index}"
+            )
+        amount = float(amount)
+        if not math.isfinite(amount) or amount < 0.0:
+            raise ValueError(
+                f"update amount must be finite and >= 0, got {amount} "
+                f"(sv_index={sv_index})"
+            )
         self.update_amounts[sv_index] = amount
 
     def count(self) -> int:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.kernels import run_sv_visit
 from repro.core.supervoxel import SuperVoxel
 from repro.core.voxel_update import SliceUpdater
+from repro.observability import NULL_RECORDER
 from repro.utils import resolve_rng
 
 __all__ = ["SVUpdateStats", "process_supervoxel"]
@@ -52,6 +53,7 @@ def process_supervoxel(
     zero_skip: bool = True,
     stale_width: int = 1,
     kernel: str = "python",
+    metrics=NULL_RECORDER,
 ) -> SVUpdateStats:
     """Update all member voxels of ``sv`` against the flat SVB ``svb``.
 
@@ -62,7 +64,9 @@ def process_supervoxel(
     see :func:`repro.core.kernels.resolve_kernel`).  The visit order is
     drawn from ``rng`` *before* dispatch, so every kernel consumes the same
     stream and — by the kernel layer's bit-exactness contract — produces
-    the same iterates as the ``python`` path.
+    the same iterates as the ``python`` path.  ``metrics`` (a
+    :class:`~repro.observability.MetricsRecorder`) receives per-flavor
+    ``kernel.<flavor>.{sv_visits,updates,skipped,waves}`` counters.
     """
     if stale_width < 1:
         raise ValueError(f"stale_width must be >= 1, got {stale_width}")
@@ -80,12 +84,14 @@ def process_supervoxel(
             stale_width=stale_width,
             kernel=kernel,
         )
-        return SVUpdateStats(
+        stats = SVUpdateStats(
             sv_index=sv.index,
             updates=updates,
             skipped=skipped,
             total_abs_delta=total_abs_delta,
         )
+        _count_visit(metrics, kernel, stats, order.size, stale_width)
+        return stats
 
     updates = 0
     skipped = 0
@@ -104,9 +110,21 @@ def process_supervoxel(
             delta = updater.apply_update(j, u, x_flat, svb, sv.member_footprint(m))
             total_abs_delta += abs(delta)
             updates += 1
-    return SVUpdateStats(
+    stats = SVUpdateStats(
         sv_index=sv.index,
         updates=updates,
         skipped=skipped,
         total_abs_delta=total_abs_delta,
     )
+    _count_visit(metrics, kernel, stats, order.size, stale_width)
+    return stats
+
+
+def _count_visit(metrics, kernel: str, stats: SVUpdateStats, n_visited: int, stale_width: int) -> None:
+    """Accumulate the per-flavor SV-visit counters (no-op when disabled)."""
+    if not metrics.enabled:
+        return
+    metrics.count(f"kernel.{kernel}.sv_visits", 1)
+    metrics.count(f"kernel.{kernel}.updates", stats.updates)
+    metrics.count(f"kernel.{kernel}.skipped", stats.skipped)
+    metrics.count(f"kernel.{kernel}.waves", -(-n_visited // stale_width))

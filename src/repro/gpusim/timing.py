@@ -420,6 +420,67 @@ class GPUTimingModel:
             )
         return total
 
+    def measured_vs_modeled(
+        self,
+        trace: GPUExecutionTrace,
+        metrics,
+        config: GPUKernelConfig | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """Join measured phase wall-clock against the model, per kernel phase.
+
+        ``metrics`` is the :class:`~repro.observability.MetricsRecorder` an
+        instrumented :func:`~repro.core.gpu_icd.gpu_icd_reconstruct` run
+        recorded into: its ``extract`` / ``update`` / ``merge`` span totals
+        are the *measured* seconds of the three Alg. 3 kernels (as executed
+        by this Python emulation), while the same phases costed from the
+        recorded ``trace`` on this model's geometry/device are the
+        *modeled* seconds.  Returns::
+
+            {"modeled_s":  {"extract": .., "update": .., "merge": .., "total": ..},
+             "measured_s": {...same keys...},
+             "measured_over_modeled": {...same keys (NaN where unmodeled)...}}
+
+        The join is meaningful per-phase *shape-wise* even though absolute
+        scales differ (interpreted NumPy vs a modeled Titan X): it shows
+        where the emulation's time goes versus where the hardware model
+        says a GPU's would.  Use the same geometry the trace was produced
+        on for a like-for-like join.
+        """
+        config = config if config is not None else GPUKernelConfig()
+        params = trace.params
+        modeled = {"extract": 0.0, "update": 0.0, "merge": 0.0}
+        for k in trace.kernels:
+            if k.n_svs == 0:
+                continue
+            updates = np.array([s.updates for s in k.sv_stats], dtype=np.float64)
+            skipped = np.array([s.skipped for s in k.sv_stats], dtype=np.float64)
+            modeled["extract"] += self.svb_create_time(k.n_svs, params.sv_side)
+            modeled["update"] += self.mbir_kernel_cost(
+                k.n_svs,
+                float(updates.mean()),
+                params,
+                config,
+                skipped_per_sv=float(skipped.mean()),
+            ).total
+            modeled["merge"] += self.merge_time(k.n_svs, params.sv_side, params)
+        modeled["total"] = modeled["extract"] + modeled["update"] + modeled["merge"]
+
+        totals = metrics.span_totals()
+        measured = {
+            phase: totals.get(phase, {"total_s": 0.0})["total_s"]
+            for phase in ("extract", "update", "merge")
+        }
+        measured["total"] = measured["extract"] + measured["update"] + measured["merge"]
+        ratio = {
+            phase: (measured[phase] / modeled[phase]) if modeled[phase] > 0 else float("nan")
+            for phase in modeled
+        }
+        return {
+            "modeled_s": modeled,
+            "measured_s": measured,
+            "measured_over_modeled": ratio,
+        }
+
     def reconstruction_time(
         self,
         equits: float,

@@ -5,14 +5,18 @@
     python -m repro table2 | table3
     python -m repro all
     python -m repro tune [--zero-skip 0.4]
+    python -m repro profile [--driver all] [--equits 2] --metrics-json out.json
 
 Each experiment prints the same rows/series the paper reports (see
-EXPERIMENTS.md for the paper-vs-measured record).
+EXPERIMENTS.md for the paper-vs-measured record).  ``profile`` runs
+instrumented reconstructions (see :mod:`repro.observability`) and writes
+the machine-readable span/counter report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -52,9 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "tune", "suite"],
+        choices=sorted(_EXPERIMENTS) + ["all", "tune", "suite", "profile"],
         help="which experiment to run ('all' runs every table/figure; "
-        "'suite' runs the ensemble statistics)",
+        "'suite' runs the ensemble statistics; 'profile' runs instrumented "
+        "reconstructions and emits the metrics report)",
     )
     parser.add_argument("--pixels", type=int, default=64,
                         help="scaled image side for real-numerics runs (default 64)")
@@ -63,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="ensemble/run seed")
     parser.add_argument("--zero-skip", type=float, default=0.4,
                         help="zero-skip fraction for 'tune' (default 0.4)")
+    parser.add_argument("--driver", choices=["icd", "psv", "gpu", "all"], default="all",
+                        help="which driver(s) 'profile' instruments (default all)")
+    parser.add_argument("--equits", type=float, default=2.0,
+                        help="equits per instrumented 'profile' run (default 2)")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="write the 'profile' span/counter report as JSON")
     return parser
 
 
@@ -93,11 +104,80 @@ def _run_tune(args) -> None:
           "batch=32 chunk=32 at ~70 ms/equit")
 
 
+def _run_profile(args) -> None:
+    """Run instrumented reconstructions and emit the metrics report."""
+    from repro import (
+        GPUICDParams,
+        GPUTimingModel,
+        build_system_matrix,
+        gpu_icd_reconstruct,
+        icd_reconstruct,
+        psv_icd_reconstruct,
+        scaled_geometry,
+        shepp_logan,
+        simulate_scan,
+    )
+    from repro.observability import MetricsRecorder
+
+    n = args.pixels
+    geom = scaled_geometry(n)
+    system = build_system_matrix(geom)
+    scan = simulate_scan(shepp_logan(n), system, seed=args.seed)
+    common = dict(max_equits=args.equits, seed=args.seed, track_cost=False)
+
+    drivers = {}
+    if args.driver in ("icd", "all"):
+        drivers["icd"] = lambda rec: icd_reconstruct(scan, system, metrics=rec, **common)
+    if args.driver in ("psv", "all"):
+        drivers["psv_icd"] = lambda rec: psv_icd_reconstruct(
+            scan, system, sv_side=min(13, n), metrics=rec, **common
+        )
+    gpu_params = GPUICDParams(sv_side=min(33, n))
+    if args.driver in ("gpu", "all"):
+        drivers["gpu_icd"] = lambda rec: gpu_icd_reconstruct(
+            scan, system, params=gpu_params, metrics=rec, **common
+        )
+
+    report = {"pixels": n, "max_equits": args.equits, "seed": args.seed, "drivers": {}}
+    for name, run in drivers.items():
+        rec = MetricsRecorder()
+        with rec.span("run", driver=name):
+            result = run(rec)
+        entry = rec.to_dict()
+        entry["equits"] = result.history.equits
+        entry["converged_equits"] = result.history.converged_equits
+        entry["converged_threshold_hu"] = result.history.converged_threshold_hu
+        if name == "gpu_icd":
+            model = GPUTimingModel(geom)
+            entry["measured_vs_modeled"] = model.measured_vs_modeled(result.trace, rec)
+        report["drivers"][name] = entry
+
+        totals = rec.span_totals()
+        print(f"{name}: {rec.total('run'):.3f} s wall, "
+              f"{result.history.equits:.2f} equits, "
+              f"{len(result.history.records)} iterations")
+        for phase in ("sweep", "extract", "update", "merge", "bookkeeping"):
+            if phase in totals:
+                agg = totals[phase]
+                print(f"  {phase:12s} {agg['total_s']:8.3f} s  (x{agg['count']})")
+        for key, val in sorted(rec.counters.items()):
+            print(f"  {key:28s} {val:12.0f}")
+
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"metrics report written to {args.metrics_json}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.experiment == "tune":
         _run_tune(args)
+        return 0
+    if args.experiment == "profile":
+        _run_profile(args)
         return 0
     if args.experiment == "suite":
         from repro.harness.suite import run_suite

@@ -1,0 +1,243 @@
+"""Run metrics and tracing: nested wall-clock spans and named counters.
+
+The paper's results are all *performance* claims — per-kernel timing
+breakdowns (Fig. 8), equit times (Table 1), speedup sweeps (Figs. 7a-7d) —
+so the reproduction needs a first-class, machine-readable record of what a
+run did and where its wall-clock went.  This module provides that record
+with zero dependencies and near-zero cost when disabled:
+
+:class:`MetricsRecorder`
+    Collects a tree of named spans (monotonic wall-clock via
+    ``time.perf_counter``) and a flat dict of named counters.  Spans nest
+    through a context manager; counters accumulate.  ``to_dict()`` /
+    ``write_json()`` produce the JSON report the CLI's ``--metrics-json``
+    flag emits.
+:class:`NullRecorder`
+    The off-by-default stand-in: every method is an allocation-free no-op
+    and ``span()`` returns a shared singleton context manager, so
+    instrumented hot paths cost one attribute lookup and one method call
+    when metrics are not requested.  Drivers accept ``metrics=None`` and
+    resolve it through :func:`as_recorder`.
+
+Instrumentation sites (see DESIGN.md §9):
+
+* the three drivers (``icd``, ``psv_icd``, ``gpu_icd``) record one span
+  per outer iteration, and GPU-ICD records the three per-batch kernel
+  phases — ``extract`` (SVB creation), ``update`` (the MBIR kernel),
+  ``merge`` (the atomic write-back);
+* :func:`repro.core.kernels.run_sweep` and
+  :func:`repro.core.sv_engine.process_supervoxel` report update / skip /
+  wave counters per kernel flavor (``kernel.<flavor>.updates`` ...);
+* :meth:`repro.gpusim.timing.GPUTimingModel.measured_vs_modeled` joins the
+  measured phase spans against the calibrated hardware model's per-phase
+  predictions in one report.
+
+The recorder never touches the numerics — it only reads the clock — so
+instrumented and uninstrumented runs produce bit-identical iterates (the
+cross-kernel equivalence tests guard this).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "Span",
+    "MetricsRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "as_recorder",
+]
+
+
+@dataclass
+class Span:
+    """One named interval on the monotonic clock, with nested children."""
+
+    name: str
+    start: float
+    end: float | None = None
+    meta: dict[str, Any] | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the span's context manager has exited."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds between enter and exit, or None while still open."""
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (durations in seconds)."""
+        d: dict[str, Any] = {"name": self.name, "duration_s": self.duration}
+        if self.meta:
+            d["meta"] = dict(self.meta)
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(self, recorder: "MetricsRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._recorder._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder._pop(self._span)
+        return False
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned by :meth:`NullRecorder.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    ``enabled`` is False so hot paths can guard any per-call work (e.g.
+    building counter-key strings) behind one attribute read.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **meta) -> _NullSpanContext:
+        """Return the shared no-op context manager."""
+        return _NULL_SPAN_CONTEXT
+
+    def count(self, name: str, n: int | float = 1) -> None:
+        """Ignore the counter increment."""
+
+    def span_totals(self) -> dict[str, dict[str, float]]:
+        """No spans were recorded."""
+        return {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """An empty report, shaped like :meth:`MetricsRecorder.to_dict`."""
+        return {"enabled": False, "spans": [], "counters": {}}
+
+
+#: Process-wide singleton handed out by :func:`as_recorder` for ``None``.
+NULL_RECORDER = NullRecorder()
+
+
+class MetricsRecorder:
+    """Collects nested wall-clock spans and named counters for one run.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (seconds).  Defaults to
+        :func:`time.perf_counter`; tests inject a deterministic counter.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.roots: list[Span] = []
+        self.counters: dict[str, float] = {}
+        self._stack: list[Span] = []
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, **meta) -> _SpanContext:
+        """Open a span on ``with``-entry; nests under the innermost open span."""
+        return _SpanContext(self, Span(name=name, start=0.0, meta=meta or None))
+
+    def _push(self, span: Span) -> None:
+        span.start = self._clock()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        end = self._clock()
+        # Close any dangling children first (exceptions unwound past them).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end is None:
+                dangling.end = end
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        span.end = end
+
+    @property
+    def open_spans(self) -> int:
+        """Number of spans currently open (0 once every ``with`` exited)."""
+        return len(self._stack)
+
+    # -- counters -------------------------------------------------------
+    def count(self, name: str, n: int | float = 1) -> None:
+        """Add ``n`` to the named counter (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- aggregation ----------------------------------------------------
+    def _walk(self):
+        stack = list(self.roots)
+        while stack:
+            s = stack.pop()
+            stack.extend(s.children)
+            yield s
+
+    def span_totals(self) -> dict[str, dict[str, float]]:
+        """Aggregate closed spans by name: ``{name: {count, total_s}}``."""
+        totals: dict[str, dict[str, float]] = {}
+        for s in self._walk():
+            if s.end is None:
+                continue
+            agg = totals.setdefault(s.name, {"count": 0, "total_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] += s.end - s.start
+        return totals
+
+    def total(self, name: str) -> float:
+        """Total seconds spent in closed spans named ``name``."""
+        agg = self.span_totals().get(name)
+        return agg["total_s"] if agg else 0.0
+
+    # -- reports --------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-ready report: span tree, aggregates, counters."""
+        return {
+            "enabled": True,
+            "spans": [s.to_dict() for s in self.roots],
+            "span_totals": self.span_totals(),
+            "counters": dict(self.counters),
+        }
+
+    def write_json(self, path) -> None:
+        """Serialise :meth:`to_dict` to ``path`` (indent=2, sorted keys)."""
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+
+
+def as_recorder(metrics: "MetricsRecorder | NullRecorder | None"):
+    """Resolve a driver's ``metrics=`` argument (None -> the shared no-op)."""
+    return NULL_RECORDER if metrics is None else metrics

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    RMSE_CONVERGED_HU,
     IterationRecord,
     Neighborhood,
     QuadraticPrior,
@@ -91,6 +92,49 @@ class TestRunHistory:
         h.append(self._record(2, 2.0, 1.0))
         h.mark_converged_if_below(10.0)
         assert h.converged_equits == 1.0
+
+    def test_threshold_recorded_alongside_convergence(self):
+        """Regression: a lax stop_rmse must be distinguishable from the 10 HU bar.
+
+        Drivers call ``mark_converged_if_below(stop_rmse)``, so a run with
+        ``stop_rmse=50`` is "converged" above the paper's threshold; the
+        history now records which bar was applied.
+        """
+        h = RunHistory()
+        h.append(self._record(1, 1.0, 30.0))
+        h.mark_converged_if_below(50.0)
+        assert h.converged_equits == 1.0
+        assert h.converged_threshold_hu == 50.0  # NOT the 10 HU paper bar
+
+    def test_threshold_recorded_even_without_convergence(self):
+        h = RunHistory()
+        h.append(self._record(1, 1.0, 50.0))
+        h.mark_converged_if_below(10.0)
+        assert h.converged_equits is None
+        assert h.converged_threshold_hu == 10.0
+
+    def test_threshold_not_overwritten_once_converged(self):
+        h = RunHistory()
+        h.append(self._record(1, 1.0, 5.0))
+        h.mark_converged_if_below(10.0)
+        h.mark_converged_if_below(99.0)  # idempotent: first marking wins
+        assert h.converged_threshold_hu == 10.0
+
+    def test_drivers_record_their_stop_rmse(self, scan32, system32, golden32):
+        """The caller's lax stop_rmse shows up in the history (psv/gpu call sites)."""
+        from repro.core import psv_icd_reconstruct
+
+        res = psv_icd_reconstruct(
+            scan32, system32, max_equits=3, seed=0, track_cost=False,
+            sv_side=8, n_cores=4, golden=golden32, stop_rmse=200.0,
+        )
+        assert res.history.converged_threshold_hu == 200.0
+        # Default (no stop_rmse) applies the paper's 10 HU bar.
+        res10 = psv_icd_reconstruct(
+            scan32, system32, max_equits=1, seed=0, track_cost=False,
+            sv_side=8, n_cores=4, golden=golden32,
+        )
+        assert res10.history.converged_threshold_hu == RMSE_CONVERGED_HU
 
     def test_trajectories(self):
         h = RunHistory()

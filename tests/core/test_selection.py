@@ -55,6 +55,41 @@ class TestSVSelector:
         with pytest.raises(ValueError):
             SVSelector(10, 0.2).select(0)
 
+    def test_record_update_rejects_out_of_range_index(self):
+        sel = SVSelector(10, 0.2)
+        with pytest.raises(IndexError, match=r"\[0, 10\)"):
+            sel.record_update(10, 1.0)
+        with pytest.raises(IndexError, match=r"\[0, 10\)"):
+            sel.record_update(-1, 1.0)  # would silently wrap via numpy indexing
+
+    def test_record_update_rejects_nonfinite_amount(self):
+        """Regression: a NaN amount used to poison the top-k sort forever.
+
+        ``np.argsort(-amounts)`` places NaN unpredictably and NaN never
+        compares below any later finite amount, so one poisoned SV would
+        distort every even-iteration selection for the rest of the run.
+        """
+        sel = SVSelector(10, 0.2)
+        with pytest.raises(ValueError, match="finite"):
+            sel.record_update(3, float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            sel.record_update(3, float("inf"))
+        with pytest.raises(ValueError, match="finite"):
+            sel.record_update(3, -1.0)
+        # The rejected updates left no trace: amounts stay "infinitely
+        # stale" and the even-iteration top-k remains well defined.
+        assert np.all(np.isinf(sel.update_amounts))
+        for i in range(10):
+            sel.record_update(i, float(i))
+        assert set(sel.select(2, rng=0)) == {8, 9}
+
+    def test_record_update_accepts_numpy_scalars(self):
+        sel = SVSelector(4, 0.5)
+        sel.record_update(np.int64(2), np.float64(0.5))
+        assert sel.update_amounts[2] == 0.5
+        sel.record_update(1, 0.0)  # zero movement is a legitimate amount
+        assert sel.update_amounts[1] == 0.0
+
     def test_every_sv_eventually_selected(self):
         """Over many odd (random) iterations, coverage is complete."""
         sel = SVSelector(30, 0.2)

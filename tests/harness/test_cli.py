@@ -40,3 +40,55 @@ class TestMain:
         out = capsys.readouterr().out
         assert "auto-tuned" in out
         assert "sv_side=" in out
+
+
+class TestProfile:
+    def test_parser_accepts_profile_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "--driver", "gpu", "--equits", "1.5", "--metrics-json", "m.json"]
+        )
+        assert args.experiment == "profile"
+        assert args.driver == "gpu"
+        assert args.equits == 1.5
+        assert args.metrics_json == "m.json"
+
+    def test_metrics_json_round_trips(self, tmp_path, capsys):
+        """`profile --metrics-json` writes a report json.load can read back."""
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main([
+            "profile", "--pixels", "32", "--equits", "1",
+            "--metrics-json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gpu_icd" in out and str(path) in out
+
+        with open(path) as f:
+            report = json.load(f)
+        assert set(report["drivers"]) == {"icd", "psv_icd", "gpu_icd"}
+        for name, entry in report["drivers"].items():
+            # Per-iteration spans under the run root.
+            run = entry["spans"][0]
+            iters = [s for s in run["children"] if s["name"] == "iteration"]
+            assert iters, name
+            assert all(s["duration_s"] > 0 for s in iters)
+        # GPU-ICD: per-kernel-phase timings + counters + the model join.
+        gpu = report["drivers"]["gpu_icd"]
+        batch = next(
+            s for s in gpu["spans"][0]["children"][0]["children"]
+            if s["name"] == "kernel_batch"
+        )
+        assert [c["name"] for c in batch["children"]] == ["extract", "update", "merge"]
+        assert gpu["counters"]["gpu.batches"] >= 1
+        assert any(k.startswith("kernel.") for k in gpu["counters"])
+        join = gpu["measured_vs_modeled"]
+        assert join["modeled_s"]["total"] > 0
+        assert join["measured_s"]["update"] > 0
+
+    def test_profile_single_driver_without_json(self, capsys):
+        assert main(["profile", "--pixels", "32", "--equits", "1",
+                     "--driver", "icd"]) == 0
+        out = capsys.readouterr().out
+        assert "icd:" in out
+        assert "psv_icd" not in out

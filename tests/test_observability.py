@@ -1,0 +1,290 @@
+"""Observability layer: span/counter recorder semantics and driver wiring.
+
+Two contracts are guarded here:
+
+* the recorder itself — spans nest and close correctly, counters
+  accumulate, aggregation and JSON serialisation round-trip;
+* non-perturbation — instrumented and uninstrumented runs of all three
+  drivers produce *bit-identical* iterates (the recorder only reads the
+  clock), reusing the cross-kernel equivalence harness's exact-equality
+  style.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GPUICDParams,
+    gpu_icd_reconstruct,
+    icd_reconstruct,
+    psv_icd_reconstruct,
+)
+from repro.gpusim import GPUTimingModel
+from repro.observability import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    as_recorder,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+class TestMetricsRecorder:
+    def test_spans_nest_and_close(self):
+        rec = MetricsRecorder(clock=FakeClock())
+        with rec.span("outer"):
+            with rec.span("inner_a"):
+                pass
+            with rec.span("inner_b"):
+                pass
+        assert rec.open_spans == 0
+        assert [s.name for s in rec.roots] == ["outer"]
+        outer = rec.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert all(s.closed for s in [outer, *outer.children])
+        # Children lie strictly inside the parent interval.
+        for c in outer.children:
+            assert outer.start < c.start <= c.end < outer.end
+
+    def test_deterministic_durations(self):
+        rec = MetricsRecorder(clock=FakeClock(step=1.0))
+        with rec.span("a"):  # enter at t=1, exit at t=2
+            pass
+        assert rec.roots[0].duration == pytest.approx(1.0)
+
+    def test_siblings_at_root(self):
+        rec = MetricsRecorder(clock=FakeClock())
+        with rec.span("first"):
+            pass
+        with rec.span("second"):
+            pass
+        assert [s.name for s in rec.roots] == ["first", "second"]
+        assert not rec.roots[0].children
+
+    def test_exception_closes_span(self):
+        rec = MetricsRecorder(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with rec.span("doomed"):
+                raise RuntimeError("boom")
+        assert rec.open_spans == 0
+        assert rec.roots[0].closed
+
+    def test_counters_accumulate(self):
+        rec = MetricsRecorder()
+        rec.count("x")
+        rec.count("x", 4)
+        rec.count("y", 2.5)
+        assert rec.counters == {"x": 5, "y": 2.5}
+
+    def test_span_totals_aggregates_by_name(self):
+        rec = MetricsRecorder(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with rec.span("phase"):
+                pass
+        totals = rec.span_totals()
+        assert totals["phase"]["count"] == 3
+        assert totals["phase"]["total_s"] == pytest.approx(3.0)
+        assert rec.total("phase") == pytest.approx(3.0)
+        assert rec.total("absent") == 0.0
+
+    def test_open_span_excluded_from_totals(self):
+        rec = MetricsRecorder(clock=FakeClock())
+        ctx = rec.span("open")
+        ctx.__enter__()
+        assert rec.open_spans == 1
+        assert "open" not in rec.span_totals()
+        d = rec.to_dict()
+        assert d["spans"][0]["duration_s"] is None
+
+    def test_meta_recorded(self):
+        rec = MetricsRecorder(clock=FakeClock())
+        with rec.span("iteration", index=7):
+            pass
+        assert rec.roots[0].meta == {"index": 7}
+        assert rec.to_dict()["spans"][0]["meta"] == {"index": 7}
+
+    def test_to_dict_json_round_trips(self, tmp_path):
+        rec = MetricsRecorder(clock=FakeClock())
+        with rec.span("outer", kind="test"):
+            with rec.span("inner"):
+                pass
+        rec.count("kernel.python.updates", 12)
+        path = tmp_path / "metrics.json"
+        rec.write_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(rec.to_dict()))
+        assert loaded["counters"]["kernel.python.updates"] == 12
+        assert loaded["spans"][0]["children"][0]["name"] == "inner"
+
+
+class TestNullRecorder:
+    def test_is_disabled_and_noop(self):
+        rec = NullRecorder()
+        assert rec.enabled is False
+        with rec.span("anything", meta=1) as s:
+            assert s is None
+        rec.count("x", 5)
+        assert rec.span_totals() == {}
+        assert rec.to_dict() == {"enabled": False, "spans": [], "counters": {}}
+
+    def test_span_context_is_shared_singleton(self):
+        rec = NullRecorder()
+        assert rec.span("a") is rec.span("b")
+
+    def test_as_recorder(self):
+        assert as_recorder(None) is NULL_RECORDER
+        rec = MetricsRecorder()
+        assert as_recorder(rec) is rec
+
+
+# ----------------------------------------------------------------------
+# Instrumentation must not perturb the numerics: bit-identical iterates.
+# ----------------------------------------------------------------------
+class TestInstrumentationIsTransparent:
+    def _assert_identical(self, plain, instrumented):
+        assert np.array_equal(plain.image, instrumented.image)
+        assert np.array_equal(plain.error_sinogram, instrumented.error_sinogram)
+        assert [r.updates for r in plain.history.records] == [
+            r.updates for r in instrumented.history.records
+        ]
+
+    def test_icd(self, scan32, system32):
+        kwargs = dict(max_equits=2, seed=0, track_cost=False)
+        rec = MetricsRecorder()
+        plain = icd_reconstruct(scan32, system32, **kwargs)
+        inst = icd_reconstruct(scan32, system32, metrics=rec, **kwargs)
+        self._assert_identical(plain, inst)
+        assert plain.metrics is None
+        assert inst.metrics is rec
+
+    def test_psv_icd(self, scan32, system32):
+        kwargs = dict(max_equits=2, seed=0, track_cost=False, sv_side=8, n_cores=4)
+        rec = MetricsRecorder()
+        plain = psv_icd_reconstruct(scan32, system32, **kwargs)
+        inst = psv_icd_reconstruct(scan32, system32, metrics=rec, **kwargs)
+        self._assert_identical(plain, inst)
+
+    def test_gpu_icd(self, scan32, system32):
+        params = GPUICDParams(sv_side=8, threadblocks_per_sv=4, batch_size=4)
+        kwargs = dict(max_equits=2, seed=0, track_cost=False, params=params)
+        rec = MetricsRecorder()
+        plain = gpu_icd_reconstruct(scan32, system32, **kwargs)
+        inst = gpu_icd_reconstruct(scan32, system32, metrics=rec, **kwargs)
+        self._assert_identical(plain, inst)
+
+
+# ----------------------------------------------------------------------
+# What an instrumented run records.
+# ----------------------------------------------------------------------
+class TestDriverMetricsContent:
+    def test_icd_per_iteration_spans_and_counters(self, scan32, system32):
+        rec = MetricsRecorder()
+        res = icd_reconstruct(
+            scan32, system32, max_equits=2, seed=0, track_cost=False, metrics=rec
+        )
+        assert rec.open_spans == 0
+        iters = [s for s in rec.roots if s.name == "iteration"]
+        assert len(iters) == len(res.history.records)
+        assert [s.meta["index"] for s in iters] == list(range(1, len(iters) + 1))
+        assert {c.name for c in iters[0].children} == {"sweep", "bookkeeping"}
+        total_updates = sum(r.updates for r in res.history.records)
+        kernel_updates = sum(
+            v for k, v in rec.counters.items()
+            if k.startswith("kernel.") and k.endswith(".updates")
+        )
+        assert kernel_updates == total_updates
+
+    def test_psv_wave_phases(self, scan32, system32):
+        rec = MetricsRecorder()
+        psv_icd_reconstruct(
+            scan32, system32, max_equits=1, seed=0, track_cost=False,
+            sv_side=8, n_cores=4, metrics=rec,
+        )
+        totals = rec.span_totals()
+        for phase in ("wave", "extract", "update", "merge"):
+            assert phase in totals and totals[phase]["count"] >= 1
+        # Phases nest under waves, waves under iterations.
+        it = rec.roots[0]
+        wave = it.children[0]
+        assert wave.name == "wave"
+        assert [c.name for c in wave.children] == ["extract", "update", "merge"]
+
+    def test_gpu_kernel_phases_and_counters(self, scan32, system32):
+        params = GPUICDParams(sv_side=8, threadblocks_per_sv=4, batch_size=4)
+        rec = MetricsRecorder()
+        res = gpu_icd_reconstruct(
+            scan32, system32, max_equits=2, seed=0, track_cost=False,
+            params=params, metrics=rec,
+        )
+        totals = rec.span_totals()
+        for phase in ("extract", "update", "merge"):
+            assert totals[phase]["count"] == res.trace.n_kernels
+            assert totals[phase]["total_s"] >= 0.0
+        assert rec.counters["gpu.batches"] == res.trace.n_kernels
+        assert rec.counters["gpu.svs"] == sum(k.n_svs for k in res.trace.kernels)
+        batch = rec.roots[0].children[0]
+        assert batch.name == "kernel_batch"
+        assert [c.name for c in batch.children] == ["extract", "update", "merge"]
+
+    def test_sv_visit_counters_per_flavor(self, scan32, system32):
+        rec = MetricsRecorder()
+        res = psv_icd_reconstruct(
+            scan32, system32, max_equits=1, seed=0, track_cost=False,
+            sv_side=8, n_cores=4, kernel="vectorized", metrics=rec,
+        )
+        assert rec.counters["kernel.vectorized.sv_visits"] == len(
+            [s for w in res.trace.waves for s in w.sv_stats]
+        )
+        assert rec.counters["kernel.vectorized.updates"] == res.trace.total_updates
+        assert rec.counters["kernel.vectorized.waves"] >= rec.counters[
+            "kernel.vectorized.sv_visits"
+        ]
+
+
+# ----------------------------------------------------------------------
+# Measured-vs-modeled join.
+# ----------------------------------------------------------------------
+class TestMeasuredVsModeled:
+    def test_join_shapes_and_positivity(self, geom32, scan32, system32):
+        params = GPUICDParams(sv_side=8, threadblocks_per_sv=4, batch_size=4)
+        rec = MetricsRecorder()
+        res = gpu_icd_reconstruct(
+            scan32, system32, max_equits=1, seed=0, track_cost=False,
+            params=params, metrics=rec,
+        )
+        join = GPUTimingModel(geom32).measured_vs_modeled(res.trace, rec)
+        assert set(join) == {"modeled_s", "measured_s", "measured_over_modeled"}
+        for side in ("modeled_s", "measured_s"):
+            assert set(join[side]) == {"extract", "update", "merge", "total"}
+            assert join[side]["total"] == pytest.approx(
+                join[side]["extract"] + join[side]["update"] + join[side]["merge"]
+            )
+        assert join["modeled_s"]["total"] > 0.0
+        assert join["measured_s"]["total"] > 0.0
+        assert join["measured_over_modeled"]["update"] > 0.0
+        # The report is JSON-serialisable as-is.
+        json.dumps(join)
+
+    def test_join_with_null_recorder_measures_zero(self, geom32, scan32, system32):
+        params = GPUICDParams(sv_side=8, threadblocks_per_sv=4, batch_size=4)
+        res = gpu_icd_reconstruct(
+            scan32, system32, max_equits=1, seed=0, track_cost=False, params=params
+        )
+        join = GPUTimingModel(geom32).measured_vs_modeled(res.trace, NULL_RECORDER)
+        assert join["measured_s"]["total"] == 0.0
+        assert join["modeled_s"]["total"] > 0.0
