@@ -1,5 +1,16 @@
 """MBIR core: priors, the ICD voxel update, and the three reconstruction drivers."""
 
+from repro.core.backends import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    SVWaveResult,
+    SVWaveTask,
+    ThreadBackend,
+    make_backend,
+    run_wave,
+    wave_task_seed,
+)
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import data_cost, map_cost, prior_cost
 from repro.core.gpu_icd import (
@@ -43,6 +54,15 @@ from repro.core.voxel_update import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "SVWaveTask",
+    "SVWaveResult",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "run_wave",
+    "wave_task_seed",
     "HAVE_NUMBA",
     "KERNELS",
     "KernelContext",

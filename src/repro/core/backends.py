@@ -1,16 +1,17 @@
-"""Execution backends: actually-parallel PSV-ICD waves.
+"""Execution backends: actually-parallel PSV-ICD / GPU-ICD waves.
 
 The drivers in :mod:`repro.core.psv_icd` / :mod:`repro.core.gpu_icd`
 default to a deterministic *inline* emulation of concurrency (bulk-
 synchronous waves executed sequentially).  This module provides real
-wall-clock-parallel execution of a PSV-ICD wave, with **snapshot
-isolation** semantics:
+wall-clock-parallel execution of a wave/batch, with **snapshot isolation**
+semantics:
 
 * every SV in a wave receives the same snapshot of the image ``x`` and the
   error sinogram ``e`` (what concurrent cores observe at wave start);
 * each worker processes its SV privately and returns *deltas* (per-voxel
   image deltas and the SVB error delta);
-* all deltas merge at the wave barrier.
+* all deltas merge at the wave barrier, in ascending SV index (so the
+  merge — and therefore the iterates — is independent of scheduling).
 
 These semantics keep the central invariant ``e == y - Ax`` exact even when
 two SVs of one wave share a boundary voxel (both deltas apply to ``x`` and
@@ -18,7 +19,7 @@ both error deltas apply to ``e``, so the correspondence is preserved), at
 the cost of slightly different iterates from the inline emulation (which
 lets later SVs of a wave see earlier SVs' image updates).  Both are valid
 models of the racy 16-core execution; the inline one is the default
-because it is reproducible run-to-run regardless of scheduling.
+because it needs no pool and its iterates predate the backends.
 
 Backends
 --------
@@ -29,13 +30,35 @@ Backends
   interleavings rather than buying speed under the GIL.
 * :class:`ProcessBackend` — ``ProcessPoolExecutor`` with a per-worker
   initializer that rebuilds the slice state once (system matrix, fused
-  weights, SuperVoxel grid), so tasks only ship snapshots and indices.
+  weights, SuperVoxel grid).  Wave snapshots travel through
+  ``multiprocessing.shared_memory``: the backend publishes ``x``/``e``
+  **once per wave** and tasks ship only the segment name plus offsets, so
+  per-task pickling is O(1) instead of O(n_voxels + sinogram).
+
+All backends are context managers with idempotent :meth:`close`; the pool
+backends accept a per-wave ``wave_timeout`` and recover from worker
+crashes by recomputing the failed SVs inline (bit-identical, because tasks
+carry their own seeds and workers only ever see the shared snapshot).
+
+Instrumentation: ``run_wave(tasks, x, e, metrics=...)`` accepts a
+:class:`~repro.observability.MetricsRecorder` and wraps the three wave
+phases in the same ``extract`` / ``update`` / ``merge`` spans the inline
+drivers emit, so profiles of inline and backend runs line up one-to-one.
+
+Seeding: per-SV streams derive from ``np.random.SeedSequence(entropy=
+base_seed, spawn_key=(sv_index,))`` — the spawn-key construction NumPy
+guarantees collision-free — replacing an older affine scheme
+(``base_seed * 1_000_003 + sv_index``) whose (base_seed, sv) pairs could
+collide.  Backend iterates changed at that switch; no test pinned them.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import pickle
+import time
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -46,9 +69,37 @@ from repro.core.sv_engine import SVUpdateStats, process_supervoxel
 from repro.core.voxel_update import SliceUpdater
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
+from repro.observability import as_recorder
 from repro.utils import check_positive, resolve_rng
 
-__all__ = ["SVWaveTask", "SVWaveResult", "SerialBackend", "ThreadBackend", "ProcessBackend", "run_wave"]
+__all__ = [
+    "SVWaveTask",
+    "SVWaveResult",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "make_backend",
+    "wave_task_seed",
+    "run_wave",
+]
+
+#: Backend names accepted by the drivers' ``backend=`` argument.  "inline"
+#: is the drivers' built-in emulation (no backend object is constructed).
+BACKENDS = ("inline", "serial", "thread", "process")
+
+
+def wave_task_seed(base_seed: int, sv_index: int) -> np.random.SeedSequence:
+    """Collision-free per-(base_seed, SV) stream for one wave task.
+
+    ``SeedSequence`` spawn keys guarantee distinct streams for distinct
+    ``(entropy, spawn_key)`` pairs — unlike the previous affine scheme
+    ``base_seed * 1_000_003 + sv_index``, where e.g. ``(0, 1_000_003)`` and
+    ``(1, 0)`` produced the same integer seed.  Keying by SV index (rather
+    than position in the wave) keeps an SV's stream stable however the wave
+    is composed.
+    """
+    return np.random.SeedSequence(entropy=int(base_seed), spawn_key=(int(sv_index),))
 
 
 @dataclass(frozen=True)
@@ -56,7 +107,7 @@ class SVWaveTask:
     """One SV's work item within a wave."""
 
     sv_index: int
-    seed: int
+    seed: int | np.random.SeedSequence
     zero_skip: bool = True
     stale_width: int = 1
     kernel: str = "python"  # already resolved (see kernels.resolve_kernel)
@@ -111,7 +162,12 @@ def _merge(
     e: np.ndarray,
     x_snapshot: np.ndarray,
 ) -> list[SVUpdateStats]:
-    """Apply all wave deltas to the shared state (the wave barrier)."""
+    """Apply all wave deltas to the shared state (the wave barrier).
+
+    ``results`` must already be in merge order (ascending SV index): shared
+    boundary voxels accumulate several float deltas, so the order is part
+    of the cross-backend bit-identity contract.
+    """
     stats = []
     for res in results:
         sv = grid.svs[res.sv_index]
@@ -128,26 +184,44 @@ def _merge(
 class SerialBackend:
     """Snapshot-isolation wave execution on the calling thread."""
 
+    name = "serial"
+
     def __init__(self, updater: SliceUpdater, grid: SuperVoxelGrid) -> None:
         self.updater = updater
         self.grid = grid
+        self._closed = False
 
+    # ------------------------------------------------------------------
     def run_wave(
-        self, tasks: list[SVWaveTask], x: np.ndarray, e: np.ndarray
+        self, tasks: list[SVWaveTask], x: np.ndarray, e: np.ndarray, *, metrics=None
     ) -> list[SVUpdateStats]:
-        """Process ``tasks`` against a common snapshot; merge; return stats."""
-        x_snapshot = x.copy()
-        e_snapshot = e.copy()
+        """Process ``tasks`` against a common snapshot; merge; return stats.
+
+        ``metrics`` optionally receives the inline drivers' wave phases:
+        ``extract`` (snapshotting), ``update`` (worker execution), ``merge``
+        (the barrier).  Stats come back in ascending SV index.
+        """
+        self._check_open()
+        rec = as_recorder(metrics)
+        with rec.span("extract"):
+            x_snapshot = x.copy()
+            e_snapshot = e.copy()
+        with rec.span("update"):
+            results = self._execute(tasks, x_snapshot, e_snapshot, rec)
+        # Deterministic merge order regardless of completion order.
+        results.sort(key=lambda r: r.sv_index)
+        with rec.span("merge"):
+            return _merge(results, self.grid, x, e, x_snapshot)
+
+    def _execute(self, tasks, x_snapshot, e_snapshot, rec) -> list[SVWaveResult]:
         if tasks and kernels.HAVE_NUMBA and all(t.kernel == "numba" for t in tasks):
             # The whole wave runs as one prange-parallel compiled call —
             # snapshot isolation maps 1:1 onto the kernel's per-SV x.copy().
-            results = self._run_wave_fused(tasks, x_snapshot, e_snapshot)
-        else:
-            results = [
-                _process_one(t, self.updater, self.grid, x_snapshot, e_snapshot)
-                for t in tasks
-            ]
-        return _merge(results, self.grid, x, e, x_snapshot)
+            return self._run_wave_fused(tasks, x_snapshot, e_snapshot)
+        return [
+            _process_one(t, self.updater, self.grid, x_snapshot, e_snapshot)
+            for t in tasks
+        ]
 
     def _run_wave_fused(
         self, tasks: list[SVWaveTask], x_snapshot: np.ndarray, e_snapshot: np.ndarray
@@ -190,66 +264,247 @@ class SerialBackend:
             )
         return results
 
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
     def close(self) -> None:
-        """Nothing to release."""
+        """Release resources (idempotent; nothing to release here)."""
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 class ThreadBackend(SerialBackend):
-    """Snapshot-isolation wave execution on a thread pool."""
+    """Snapshot-isolation wave execution on a thread pool.
+
+    Worker failures (a task raising) and per-wave timeouts degrade to
+    inline recomputation of the affected SVs on the calling thread —
+    bit-identical to a clean run, because each task carries its own seed
+    and reads only the immutable wave snapshot.  A timed-out worker thread
+    cannot be killed; its result is simply discarded (it only ever touches
+    private copies).
+    """
+
+    name = "thread"
 
     def __init__(
-        self, updater: SliceUpdater, grid: SuperVoxelGrid, *, n_workers: int = 4
+        self,
+        updater: SliceUpdater,
+        grid: SuperVoxelGrid,
+        *,
+        n_workers: int = 4,
+        wave_timeout: float | None = None,
     ) -> None:
         super().__init__(updater, grid)
         check_positive("n_workers", n_workers)
+        if wave_timeout is not None:
+            check_positive("wave_timeout", wave_timeout)
+        self.n_workers = int(n_workers)
+        self.wave_timeout = wave_timeout
+        #: tasks recomputed inline after a worker failure or wave timeout.
+        self.inline_fallbacks = 0
         self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
 
-    def run_wave(self, tasks, x, e):
-        x_snapshot = x.copy()
-        e_snapshot = e.copy()
-        futures = [
-            self._pool.submit(_process_one, t, self.updater, self.grid, x_snapshot, e_snapshot)
-            for t in tasks
-        ]
-        results = [f.result() for f in futures]
-        # Deterministic merge order regardless of completion order.
-        results.sort(key=lambda r: r.sv_index)
-        return _merge(results, self.grid, x, e, x_snapshot)
+    def _submit(self, task, x_snapshot, e_snapshot):
+        return self._pool.submit(
+            _process_one, task, self.updater, self.grid, x_snapshot, e_snapshot
+        )
+
+    def _execute(self, tasks, x_snapshot, e_snapshot, rec) -> list[SVWaveResult]:
+        futures = [(self._submit(t, x_snapshot, e_snapshot), t) for t in tasks]
+        deadline = (
+            None if self.wave_timeout is None else time.monotonic() + self.wave_timeout
+        )
+        results: list[SVWaveResult] = []
+        failed: list[SVWaveTask] = []
+        for fut, task in futures:
+            try:
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                results.append(fut.result(timeout=remaining))
+            except Exception:
+                fut.cancel()
+                failed.append(task)
+        if failed:
+            self._note_failure(len(failed), rec)
+            for task in failed:
+                results.append(
+                    _process_one(task, self.updater, self.grid, x_snapshot, e_snapshot)
+                )
+        return results
+
+    def _note_failure(self, n: int, rec) -> None:
+        self.inline_fallbacks += n
+        rec.count("backend.inline_fallbacks", n)
 
     def close(self) -> None:
-        """Shut the pool down."""
-        self._pool.shutdown(wait=True)
+        """Shut the pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------
-# Process backend: per-worker state rebuilt once via an initializer.
+# Process backend: per-worker state rebuilt once via an initializer;
+# wave snapshots travel through POSIX shared memory.
 # ----------------------------------------------------------------------
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(scan: ScanData, system: SystemMatrix, prior: Prior,
-                 sv_side: int, overlap: int, positivity: bool) -> None:
+@dataclass(frozen=True)
+class _SnapshotHandle:
+    """Where one wave's snapshots live in shared memory (ships per task).
+
+    The payload a task pickles is this handle plus the :class:`SVWaveTask`
+    — a few hundred bytes — instead of the O(n_voxels + sinogram) arrays
+    the first backend implementation copied into every task.
+    """
+
+    shm_name: str
+    n_x: int
+    n_e: int
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    The parent owns the segment's lifecycle (it creates, closes and unlinks
+    it once per wave); CPython < 3.13 has no ``track=False``, and attaching
+    registers unconditionally (bpo-39959).  With forked workers the tracker
+    process is *shared*, so a worker-side ``unregister`` after attach would
+    delete the parent's registration and make every later un/register for
+    the name a tracker error.  Suppressing registration during the attach
+    leaves exactly one owner — the parent — whichever start method is in
+    use.  Workers are single-threaded, so the temporary patch cannot leak
+    into a concurrent register call.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _register(rname, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _publish_snapshots(
+    x_snapshot: np.ndarray, e_snapshot: np.ndarray
+) -> tuple[shared_memory.SharedMemory, _SnapshotHandle]:
+    """Copy the wave snapshots into one fresh shared-memory segment."""
+    n_x, n_e = x_snapshot.size, e_snapshot.size
+    shm = shared_memory.SharedMemory(create=True, size=max(1, (n_x + n_e) * 8))
+    buf = np.frombuffer(shm.buf, dtype=np.float64, count=n_x + n_e)
+    buf[:n_x] = x_snapshot
+    buf[n_x:] = e_snapshot
+    del buf  # drop the exported view so shm.close() cannot raise BufferError
+    return shm, _SnapshotHandle(shm_name=shm.name, n_x=n_x, n_e=n_e)
+
+
+def _worker_init(
+    scan: ScanData,
+    system: SystemMatrix,
+    prior: Prior,
+    sv_side: int,
+    overlap: int,
+    positivity: bool,
+    fault_injection: tuple | None = None,
+) -> None:
     neighborhood = shared_neighborhood(system.geometry.n_pixels)
     updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
     grid = SuperVoxelGrid(system, sv_side, overlap=overlap)
     _WORKER_STATE["updater"] = updater
     _WORKER_STATE["grid"] = grid
+    _WORKER_STATE["fault_injection"] = fault_injection
 
 
-def _worker_process(task: SVWaveTask, x_snapshot: np.ndarray, e_snapshot: np.ndarray):
-    return _process_one(
-        task, _WORKER_STATE["updater"], _WORKER_STATE["grid"], x_snapshot, e_snapshot
-    )
+def _maybe_inject_fault(sv_index: int) -> None:
+    """Test-only fault hook: crash or stall the worker on selected SVs."""
+    injection = _WORKER_STATE.get("fault_injection")
+    if not injection:
+        return
+    mode, svs, seconds = injection
+    if sv_index in svs:
+        if mode == "crash":
+            import os
+
+            os._exit(1)
+        elif mode == "stall":
+            time.sleep(seconds)
+
+
+def _worker_process_shm(task: SVWaveTask, handle: _SnapshotHandle) -> SVWaveResult:
+    """Process one task against the shared-memory wave snapshots.
+
+    The worker never writes to the segment (``_process_one`` copies ``x``
+    and extracts the SVB), and every array in the returned
+    :class:`SVWaveResult` is freshly allocated, so all views are dropped
+    before the mapping closes.
+    """
+    _maybe_inject_fault(task.sv_index)
+    shm = _attach_untracked(handle.shm_name)
+    try:
+        buf = np.frombuffer(shm.buf, dtype=np.float64, count=handle.n_x + handle.n_e)
+        x_snapshot = buf[: handle.n_x]
+        e_snapshot = buf[handle.n_x :]
+        result = _process_one(
+            task, _WORKER_STATE["updater"], _WORKER_STATE["grid"], x_snapshot, e_snapshot
+        )
+        del buf, x_snapshot, e_snapshot
+        return result
+    finally:
+        shm.close()
 
 
 class ProcessBackend:
     """Snapshot-isolation wave execution on a process pool.
 
     Workers rebuild the slice state (system matrix, fused products, grid)
-    once at pool start; wave tasks ship only the two snapshots.  Use for
-    genuinely CPU-bound multi-core runs; note each snapshot round-trip
-    costs ``O(n_voxels + sinogram)`` of pickling per task.
+    once at pool start.  Per wave, the two snapshots are published once to
+    a shared-memory segment; each task ships only its
+    :class:`_SnapshotHandle` (name + offsets), and workers return deltas.
+
+    Robustness: a worker crash (the pool breaks) or a wave running past
+    ``wave_timeout`` seconds degrades to inline recomputation of the
+    affected SVs in the parent — bit-identical to a clean run — and the
+    broken pool is replaced before the next wave.  :meth:`close` is
+    idempotent and the class is a context manager, so a dying pool cannot
+    wedge a reconstruction.
+
+    Parameters
+    ----------
+    scan, system, prior:
+        The slice state workers rebuild (must be picklable).
+    sv_side, overlap, positivity:
+        Grid/updater parameters; must match the driver's grid.
+    n_workers:
+        Pool size.
+    wave_timeout:
+        Optional per-wave wall-clock budget in seconds.
+    updater, grid:
+        Optional prebuilt local mirror (used for merging and inline
+        fallback); built from the other arguments when omitted.
     """
+
+    name = "process"
 
     def __init__(
         self,
@@ -261,34 +516,164 @@ class ProcessBackend:
         overlap: int = 1,
         positivity: bool = True,
         n_workers: int = 2,
+        wave_timeout: float | None = None,
+        updater: SliceUpdater | None = None,
+        grid: SuperVoxelGrid | None = None,
+        _fault_injection: tuple | None = None,
     ) -> None:
         check_positive("n_workers", n_workers)
-        # Local mirror for merging (the grid is deterministic).
-        neighborhood = shared_neighborhood(system.geometry.n_pixels)
-        self.updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
-        self.grid = SuperVoxelGrid(system, sv_side, overlap=overlap)
+        if wave_timeout is not None:
+            check_positive("wave_timeout", wave_timeout)
+        if updater is None:
+            neighborhood = shared_neighborhood(system.geometry.n_pixels)
+            updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
+        # Local mirror for merging and inline fallback (the grid is
+        # deterministic, so the workers' rebuild matches it exactly).
+        self.updater = updater
+        self.grid = grid if grid is not None else SuperVoxelGrid(system, sv_side, overlap=overlap)
+        self.n_workers = int(n_workers)
+        self.wave_timeout = wave_timeout
+        #: tasks recomputed inline after worker crashes / wave timeouts.
+        self.inline_fallbacks = 0
+        #: pools discarded after a crash or timeout.
+        self.pools_rebuilt = 0
+        #: pickled bytes per task of the last wave (task + snapshot handle).
+        self.last_task_payload_bytes = 0
+        self._closed = False
+        self._initargs = (scan, system, prior, sv_side, overlap, positivity, _fault_injection)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._make_pool()
+
+    def _make_pool(self) -> None:
         self._pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=n_workers,
+            max_workers=self.n_workers,
             initializer=_worker_init,
-            initargs=(scan, system, prior, sv_side, overlap, positivity),
+            initargs=self._initargs,
         )
 
+    def _discard_pool(self) -> None:
+        """Drop a broken/stuck pool without waiting on its workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self.pools_rebuilt += 1
+
+    # ------------------------------------------------------------------
     def run_wave(
-        self, tasks: list[SVWaveTask], x: np.ndarray, e: np.ndarray
+        self, tasks: list[SVWaveTask], x: np.ndarray, e: np.ndarray, *, metrics=None
     ) -> list[SVUpdateStats]:
         """Process ``tasks`` in worker processes; merge; return stats."""
-        x_snapshot = x.copy()
-        e_snapshot = e.copy()
-        futures = [
-            self._pool.submit(_worker_process, t, x_snapshot, e_snapshot) for t in tasks
-        ]
-        results = [f.result() for f in futures]
-        results.sort(key=lambda r: r.sv_index)
-        return _merge(results, self.grid, x, e, x_snapshot)
+        if self._closed:
+            raise RuntimeError("ProcessBackend is closed")
+        rec = as_recorder(metrics)
+        if self._pool is None:  # previous wave broke the pool
+            self._make_pool()
+        with rec.span("extract"):
+            x_snapshot = x.copy()
+            e_snapshot = e.copy()
+            shm, handle = _publish_snapshots(x_snapshot, e_snapshot)
+        try:
+            with rec.span("update"):
+                results = self._execute(tasks, handle, x_snapshot, e_snapshot, rec)
+            results.sort(key=lambda r: r.sv_index)
+            with rec.span("merge"):
+                return _merge(results, self.grid, x, e, x_snapshot)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def _execute(self, tasks, handle, x_snapshot, e_snapshot, rec) -> list[SVWaveResult]:
+        if tasks:
+            self.last_task_payload_bytes = len(pickle.dumps((tasks[0], handle)))
+        futures = [(self._pool.submit(_worker_process_shm, t, handle), t) for t in tasks]
+        deadline = (
+            None if self.wave_timeout is None else time.monotonic() + self.wave_timeout
+        )
+        results: list[SVWaveResult] = []
+        failed: list[SVWaveTask] = []
+        for fut, task in futures:
+            try:
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                results.append(fut.result(timeout=remaining))
+            except Exception:
+                # Worker crash (BrokenProcessPool), timeout, or a poisoned
+                # task.  The pool may be unusable either way: discard it and
+                # recompute the SV inline from the same snapshot + seed.
+                fut.cancel()
+                failed.append(task)
+        if failed:
+            self._discard_pool()
+            self.inline_fallbacks += len(failed)
+            rec.count("backend.inline_fallbacks", len(failed))
+            rec.count("backend.pool_rebuilds", 1)
+            for task in failed:
+                results.append(
+                    _process_one(task, self.updater, self.grid, x_snapshot, e_snapshot)
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     def close(self) -> None:
-        """Shut the pool down."""
-        self._pool.shutdown(wait=True)
+        """Shut the pool down (idempotent; safe on a broken pool)."""
+        if not self._closed:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def make_backend(
+    name: str,
+    *,
+    updater: SliceUpdater,
+    grid: SuperVoxelGrid,
+    scan: ScanData | None = None,
+    system: SystemMatrix | None = None,
+    prior: Prior | None = None,
+    positivity: bool = True,
+    n_workers: int = 4,
+    wave_timeout: float | None = None,
+):
+    """Build an execution backend by name ("serial" / "thread" / "process").
+
+    The drivers call this with their own updater/grid so all backends merge
+    through the exact same local state; ``scan``/``system``/``prior`` are
+    required for "process" (workers rebuild from them).
+    """
+    if name == "serial":
+        return SerialBackend(updater, grid)
+    if name == "thread":
+        return ThreadBackend(updater, grid, n_workers=n_workers, wave_timeout=wave_timeout)
+    if name == "process":
+        if scan is None or system is None or prior is None:
+            raise ValueError("backend='process' needs scan, system and prior")
+        return ProcessBackend(
+            scan,
+            system,
+            prior,
+            sv_side=grid.sv_side,
+            overlap=grid.overlap,
+            positivity=positivity,
+            n_workers=n_workers,
+            wave_timeout=wave_timeout,
+            updater=updater,
+            grid=grid,
+        )
+    raise ValueError(f"unknown backend {name!r}; use one of {BACKENDS}")
 
 
 def run_wave(
@@ -301,16 +686,17 @@ def run_wave(
     zero_skip: bool = True,
     stale_width: int = 1,
     kernel: str = "python",
+    metrics=None,
 ) -> list[SVUpdateStats]:
     """Convenience wrapper: build tasks (stable per-SV seeds) and run them."""
     tasks = [
         SVWaveTask(
             sv_index=int(s),
-            seed=base_seed * 1_000_003 + int(s),
+            seed=wave_task_seed(base_seed, int(s)),
             zero_skip=zero_skip,
             stale_width=stale_width,
             kernel=kernel,
         )
         for s in sv_indices
     ]
-    return backend.run_wave(tasks, x, e)
+    return backend.run_wave(tasks, x, e, metrics=metrics)

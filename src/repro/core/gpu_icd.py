@@ -29,10 +29,12 @@ group (``threshold``), avoiding under-filled launches.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.backends import BACKENDS, SVWaveTask, make_backend, wave_task_seed
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
 from repro.core.icd import ICDResult, default_prior, initial_image
@@ -151,6 +153,9 @@ def gpu_icd_reconstruct(
     kernel: str | None = "auto",
     neighborhood: Neighborhood | None = None,
     metrics: MetricsRecorder | None = None,
+    backend: str = "inline",
+    n_workers: int | None = None,
+    wave_timeout: float | None = None,
 ) -> GPUICDResult:
     """Reconstruct with the GPU-ICD algorithm (Alg. 3).
 
@@ -171,6 +176,15 @@ def gpu_icd_reconstruct(
     can be joined against the timing model via
     :meth:`repro.gpusim.timing.GPUTimingModel.measured_vs_modeled`.
     Instrumentation never changes iterates.
+
+    ``backend`` routes each checkerboard batch through a
+    :mod:`repro.core.backends` executor (``"serial"`` / ``"thread"`` /
+    ``"process"``) instead of the inline batch loop; the batch becomes a
+    snapshot-isolated wave with ``stale_width=params.threadblocks_per_sv``
+    per SV.  All three backends are bit-identical to one another (the
+    iterates differ validly from inline — see
+    :func:`repro.core.psv_icd.psv_icd_reconstruct`).  ``n_workers`` and
+    ``wave_timeout`` configure the pool backends.
     """
     params = params if params is not None else GPUICDParams()
     prior = prior if prior is not None else default_prior()
@@ -187,6 +201,24 @@ def gpu_icd_reconstruct(
     selector = SVSelector(grid.n_svs, params.fraction)
     checkerboard = grid.checkerboard_groups()
 
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; use one of {BACKENDS}")
+    exec_backend = None
+    if backend != "inline":
+        if n_workers is None:
+            n_workers = max(1, min(4, os.cpu_count() or 1))
+        exec_backend = make_backend(
+            backend,
+            updater=updater,
+            grid=grid,
+            scan=scan,
+            system=system,
+            prior=prior,
+            positivity=positivity,
+            n_workers=n_workers,
+            wave_timeout=wave_timeout,
+        )
+
     x = initial_image(scan, init=init).ravel().copy()
     e = updater.initial_error(x)
 
@@ -195,95 +227,121 @@ def gpu_icd_reconstruct(
     n_voxels = geometry.n_voxels
     total_updates = 0
     iteration = 0
-    while total_updates < max_equits * n_voxels:
-        iteration += 1
-        selected = set(int(s) for s in selector.select(iteration, rng))
-        iter_updates = 0
-        iter_svs = 0
-        with rec.span("iteration", index=iteration):
-            for group_id in range(4):
-                group_svs = [sv for sv in checkerboard[group_id] if sv in selected]
-                rng.shuffle(group_svs)
-                for start in range(0, len(group_svs), params.batch_size):
-                    batch = group_svs[start : start + params.batch_size]
-                    if start > 0 and len(batch) < params.threshold and iteration > 1:
-                        # Under-filled *trailing* launch suppressed (§3.2) — the
-                        # deferred SVs are picked up by a later selection.  The
-                        # first launch of a group always runs (a group smaller
-                        # than the threshold would otherwise starve forever),
-                        # and iteration 1 is exempt so every SV is touched once.
-                        trace.skipped_launches += 1
-                        rec.count("gpu.skipped_launches", 1)
-                        break
-                    with rec.span("kernel_batch", group=group_id, svs=len(batch)):
-                        # Kernel 1: create all SVBs of the batch from the
-                        # current e.
-                        svbs = []
-                        originals = []
-                        with rec.span("extract"):
-                            for sv_id in batch:
-                                svb = grid.svs[sv_id].extract(e)
-                                originals.append(svb.copy())
-                                svbs.append(svb)
-                        # Kernel 2: the MBIR kernel — all SVs update
-                        # concurrently, each with `threadblocks_per_sv`
-                        # voxels in flight.
-                        batch_stats = []
-                        with rec.span("update"):
-                            for sv_id, svb in zip(batch, svbs):
-                                sv = grid.svs[sv_id]
-                                stats = process_supervoxel(
-                                    sv,
-                                    updater,
-                                    x,
-                                    svb,
-                                    rng=rng,
-                                    zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
-                                    stale_width=params.threadblocks_per_sv,
-                                    kernel=kernel,
-                                    metrics=rec,
-                                )
-                                selector.record_update(sv.index, stats.total_abs_delta)
-                                batch_stats.append(stats)
-                                iter_updates += stats.updates
-                        iter_svs += len(batch)
-                        # Kernel 3: atomic error-sinogram merge for the whole
-                        # batch.
-                        with rec.span("merge"):
-                            for sv_id, svb, orig in zip(batch, svbs, originals):
-                                grid.svs[sv_id].accumulate_delta(svb, orig, e)
-                    if rec.enabled:
-                        rec.count("gpu.batches", 1)
-                        rec.count("gpu.svs", len(batch))
-                    trace.kernels.append(
-                        KernelTrace(
-                            iteration=iteration, group=group_id, sv_stats=tuple(batch_stats)
+    try:
+        while total_updates < max_equits * n_voxels:
+            iteration += 1
+            selected = set(int(s) for s in selector.select(iteration, rng))
+            iter_updates = 0
+            iter_svs = 0
+            with rec.span("iteration", index=iteration):
+                for group_id in range(4):
+                    group_svs = [sv for sv in checkerboard[group_id] if sv in selected]
+                    rng.shuffle(group_svs)
+                    for start in range(0, len(group_svs), params.batch_size):
+                        batch = group_svs[start : start + params.batch_size]
+                        if start > 0 and len(batch) < params.threshold and iteration > 1:
+                            # Under-filled *trailing* launch suppressed (§3.2) —
+                            # the deferred SVs are picked up by a later
+                            # selection.  The first launch of a group always
+                            # runs (a group smaller than the threshold would
+                            # otherwise starve forever), and iteration 1 is
+                            # exempt so every SV is touched once.
+                            trace.skipped_launches += 1
+                            rec.count("gpu.skipped_launches", 1)
+                            break
+                        with rec.span("kernel_batch", group=group_id, svs=len(batch)):
+                            if exec_backend is not None:
+                                # The batch is a snapshot-isolated wave; one rng
+                                # draw per batch keeps every backend's stream
+                                # consumption identical.
+                                batch_seed = int(rng.integers(0, 2**63 - 1))
+                                tasks = [
+                                    SVWaveTask(
+                                        sv_index=int(sv_id),
+                                        seed=wave_task_seed(batch_seed, int(sv_id)),
+                                        zero_skip=zero_skip and iteration > 1,
+                                        stale_width=params.threadblocks_per_sv,
+                                        kernel=kernel,
+                                    )
+                                    for sv_id in batch
+                                ]
+                                batch_stats = exec_backend.run_wave(tasks, x, e, metrics=rec)
+                                for stats in batch_stats:
+                                    selector.record_update(stats.sv_index, stats.total_abs_delta)
+                                    iter_updates += stats.updates
+                                iter_svs += len(batch)
+                            else:
+                                # Kernel 1: create all SVBs of the batch from
+                                # the current e.
+                                svbs = []
+                                originals = []
+                                with rec.span("extract"):
+                                    for sv_id in batch:
+                                        svb = grid.svs[sv_id].extract(e)
+                                        originals.append(svb.copy())
+                                        svbs.append(svb)
+                                # Kernel 2: the MBIR kernel — all SVs update
+                                # concurrently, each with `threadblocks_per_sv`
+                                # voxels in flight.
+                                batch_stats = []
+                                with rec.span("update"):
+                                    for sv_id, svb in zip(batch, svbs):
+                                        sv = grid.svs[sv_id]
+                                        stats = process_supervoxel(
+                                            sv,
+                                            updater,
+                                            x,
+                                            svb,
+                                            rng=rng,
+                                            zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
+                                            stale_width=params.threadblocks_per_sv,
+                                            kernel=kernel,
+                                            metrics=rec,
+                                        )
+                                        selector.record_update(sv.index, stats.total_abs_delta)
+                                        batch_stats.append(stats)
+                                        iter_updates += stats.updates
+                                iter_svs += len(batch)
+                                # Kernel 3: atomic error-sinogram merge for the
+                                # whole batch.
+                                with rec.span("merge"):
+                                    for sv_id, svb, orig in zip(batch, svbs, originals):
+                                        grid.svs[sv_id].accumulate_delta(svb, orig, e)
+                        if rec.enabled:
+                            rec.count("gpu.batches", 1)
+                            rec.count("gpu.svs", len(batch))
+                        trace.kernels.append(
+                            KernelTrace(
+                                iteration=iteration, group=group_id, sv_stats=tuple(batch_stats)
+                            )
                         )
-                    )
 
-            total_updates += iter_updates
-            img = x.reshape(geometry.n_pixels, geometry.n_pixels)
-            with rec.span("bookkeeping"):
-                cost = (
-                    map_cost(img, scan, system, prior, neighborhood)
-                    if track_cost
-                    else float("nan")
+                total_updates += iter_updates
+                img = x.reshape(geometry.n_pixels, geometry.n_pixels)
+                with rec.span("bookkeeping"):
+                    cost = (
+                        map_cost(img, scan, system, prior, neighborhood)
+                        if track_cost
+                        else float("nan")
+                    )
+                    rmse = rmse_hu(img, golden) if golden is not None else None
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    equits=total_updates / n_voxels,
+                    cost=cost,
+                    rmse=rmse,
+                    updates=iter_updates,
+                    svs_updated=iter_svs,
                 )
-                rmse = rmse_hu(img, golden) if golden is not None else None
-        history.append(
-            IterationRecord(
-                iteration=iteration,
-                equits=total_updates / n_voxels,
-                cost=cost,
-                rmse=rmse,
-                updates=iter_updates,
-                svs_updated=iter_svs,
             )
-        )
-        if iter_updates == 0 and iteration > 1:
-            break
-        if stop_rmse is not None and rmse is not None and rmse < stop_rmse:
-            break
+            if iter_updates == 0 and iteration > 1:
+                break
+            if stop_rmse is not None and rmse is not None and rmse < stop_rmse:
+                break
+    finally:
+        if exec_backend is not None:
+            exec_backend.close()
 
     history.mark_converged_if_below(stop_rmse if stop_rmse is not None else RMSE_CONVERGED_HU)
     return GPUICDResult(

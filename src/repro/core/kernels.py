@@ -55,6 +55,7 @@ this design):
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
@@ -144,13 +145,16 @@ class _FastPack:
       float64 is exact) but the theta1 multiply and the scatter product run
       pure float64 loops instead of cast-buffered mixed-dtype loops;
     * two scratch buffers sized to the widest footprint, pre-sliced per
-      voxel so the hot loop never constructs views.
+      voxel so the hot loop never constructs views.  The scratch is
+      **per-thread** (see :meth:`scratch`): wave backends run this kernel
+      concurrently from pool threads, and a shared buffer would let one
+      thread's theta1 products overwrite another's mid-solve.
 
     None of this changes any computed bit — it is pure data-layout
     transformation, the NumPy analogue of the paper's §4 memory layouts.
     """
 
-    __slots__ = ("fp_views", "wa_views", "a_views", "sc1_views", "sc2_views", "cols")
+    __slots__ = ("fp_views", "wa_views", "a_views", "cols", "_col_sizes", "_width", "_local")
 
     def __init__(self, ctx: "KernelContext") -> None:
         cuts = ctx.indptr[1:-1]
@@ -160,26 +164,40 @@ class _FastPack:
         self.fp_views = np.split(idx64, cuts)
         self.wa_views = np.split(wa64, cuts)
         self.a_views = np.split(a64, cuts)
-        width = max(max(ctx.col_sizes, default=0), 1)
-        sc1 = np.empty(width, dtype=np.float64)
-        sc2 = np.empty(width, dtype=np.float64)
-        self.sc1_views = [sc1[:ln] for ln in ctx.col_sizes]
-        self.sc2_views = [sc2[:ln] for ln in ctx.col_sizes]
+        self._col_sizes = ctx.col_sizes
+        self._width = max(max(ctx.col_sizes, default=0), 1)
+        self._local = threading.local()
         #: one tuple per voxel so the hot loop does a single list lookup:
-        #: (ln, footprint, wa, a, scratch1, scratch2, nb_idx, nb_w, theta2)
+        #: (ln, footprint, wa, a, nb_idx, nb_w, theta2)
         self.cols = list(
             zip(
                 ctx.col_sizes,
                 self.fp_views,
                 self.wa_views,
                 self.a_views,
-                self.sc1_views,
-                self.sc2_views,
                 ctx.nb_idx_lists,
                 ctx.nb_w_lists,
                 ctx.theta2_list,
             )
         )
+
+    def scratch(self) -> tuple[list, list]:
+        """Per-voxel pre-sliced scratch views owned by the calling thread.
+
+        Each thread that runs the vectorized kernel gets its own pair of
+        buffers (built on first use), so concurrent wave workers never share
+        mutable state through the context.
+        """
+        views = getattr(self._local, "views", None)
+        if views is None:
+            sc1 = np.empty(self._width, dtype=np.float64)
+            sc2 = np.empty(self._width, dtype=np.float64)
+            views = (
+                [sc1[:ln] for ln in self._col_sizes],
+                [sc2[:ln] for ln in self._col_sizes],
+            )
+            self._local.views = views
+        return views
 
 
 class _SVPrep:
@@ -205,21 +223,25 @@ class _SVPrep:
         self.wa_pad = None
 
     def build_pads(self, ctx: "KernelContext") -> None:
-        """Build the padded theta1 tables (idempotent)."""
+        """Build the padded theta1 tables (idempotent, thread-safe)."""
         if self.idx_pad is not None:
             return
-        sv = self.sv
-        lens = np.diff(sv.member_offsets)
-        lmax = max(int(lens.max()) if lens.size else 1, 1)
-        n_members = sv.n_voxels
-        idx_pad = np.zeros((n_members, lmax), dtype=np.int64)
-        wa_pad = np.zeros((n_members, lmax), dtype=np.float64)
-        fast = ctx.fast
-        for m, fp in enumerate(self.fp_views):
-            idx_pad[m, : fp.size] = fp
-            wa_pad[m, : fp.size] = fast.wa_views[int(sv.voxels[m])]
-        self.idx_pad = idx_pad
-        self.wa_pad = wa_pad
+        with ctx._lock:
+            if self.idx_pad is not None:
+                return
+            sv = self.sv
+            lens = np.diff(sv.member_offsets)
+            lmax = max(int(lens.max()) if lens.size else 1, 1)
+            n_members = sv.n_voxels
+            idx_pad = np.zeros((n_members, lmax), dtype=np.int64)
+            wa_pad = np.zeros((n_members, lmax), dtype=np.float64)
+            fast = ctx.fast
+            for m, fp in enumerate(self.fp_views):
+                idx_pad[m, : fp.size] = fp
+                wa_pad[m, : fp.size] = fast.wa_views[int(sv.voxels[m])]
+            # wa_pad first: readers treat a non-None idx_pad as "built".
+            self.wa_pad = wa_pad
+            self.idx_pad = idx_pad
 
 
 class KernelContext:
@@ -263,6 +285,10 @@ class KernelContext:
         self._theta2_list = None
         self._col_sizes = None
         self._fast = None
+        #: guards every lazy build below — wave backends call into one
+        #: shared context from concurrent pool threads (re-entrant: the
+        #: _FastPack build reads col_sizes, sv_prep builds read fast).
+        self._lock = threading.RLock()
 
         self.positivity = bool(updater.positivity)
         self.prior_kind = _prior_kind(updater.prior)
@@ -274,47 +300,62 @@ class KernelContext:
         self._sv_prep: dict[int, _SVPrep] = {}
 
     # ------------------------------------------------------------------
+    # Lazy builds use double-checked locking: the fast path is one read of
+    # an attribute that is only ever assigned a fully-built object.
     @property
     def nb_w_lists(self) -> list:
         """Per-voxel padded weight rows as Python lists (scalar-loop fuel)."""
         if self._nb_w_lists is None:
-            self._nb_w_lists = self.nb_w.tolist()
+            with self._lock:
+                if self._nb_w_lists is None:
+                    self._nb_w_lists = self.nb_w.tolist()
         return self._nb_w_lists
 
     @property
     def nb_idx_lists(self) -> list:
         """Per-voxel padded neighbor-index rows as Python lists."""
         if self._nb_idx_lists is None:
-            self._nb_idx_lists = self.nb_idx.tolist()
+            with self._lock:
+                if self._nb_idx_lists is None:
+                    self._nb_idx_lists = self.nb_idx.tolist()
         return self._nb_idx_lists
 
     @property
     def theta2_list(self) -> list:
         """theta2 as a Python list (scalar reads without np.float64 boxing)."""
         if self._theta2_list is None:
-            self._theta2_list = self.theta2.tolist()
+            with self._lock:
+                if self._theta2_list is None:
+                    self._theta2_list = self.theta2.tolist()
         return self._theta2_list
 
     @property
     def col_sizes(self) -> list:
         """Per-voxel footprint lengths as a Python list."""
         if self._col_sizes is None:
-            self._col_sizes = np.diff(self.indptr).tolist()
+            with self._lock:
+                if self._col_sizes is None:
+                    self._col_sizes = np.diff(self.indptr).tolist()
         return self._col_sizes
 
     @property
     def fast(self) -> "_FastPack":
         """Vectorized-kernel data layout (lazy; see :class:`_FastPack`)."""
         if self._fast is None:
-            self._fast = _FastPack(self)
+            with self._lock:
+                if self._fast is None:
+                    self._fast = _FastPack(self)
         return self._fast
 
     def sv_prep(self, sv) -> _SVPrep:
         """Hoisted per-SV state, cached by SV index (one grid per context)."""
         prep = self._sv_prep.get(sv.index)
         if prep is None or prep.sv is not sv:
-            prep = _SVPrep(sv)
-            self._sv_prep[sv.index] = prep
+            with self._lock:
+                prep = self._sv_prep.get(sv.index)
+                if prep is None or prep.sv is not sv:
+                    prep = _SVPrep(sv)
+                    self._sv_prep[sv.index] = prep
         return prep
 
 
@@ -451,6 +492,7 @@ def _sweep_vectorized(ctx, order, x, e, zero_skip):
     ``np.cumsum``, and a Python-list image holds the same binary64 values.
     """
     cols = ctx.fast.cols
+    sc1_views, sc2_views = ctx.fast.scratch()
     kind = ctx.prior_kind
     positivity = ctx.positivity
     if kind == _QGGMRF:
@@ -467,7 +509,7 @@ def _sweep_vectorized(ctx, order, x, e, zero_skip):
     xl = x.tolist()
     updates = 0
     for j in order.tolist():
-        ln, fp, wav, av, s1v, s2v, nbr, ws, t2 = cols[j]
+        ln, fp, wav, av, nbr, ws, t2 = cols[j]
         v = xl[j]
         if zero_skip and v == 0.0:
             allz = True
@@ -479,7 +521,7 @@ def _sweep_vectorized(ctx, order, x, e, zero_skip):
                 continue
         if ln:
             g = e[fp]
-            prod = mul(wav, g, s2v)
+            prod = mul(wav, g, sc2_views[j])
             accum(prod, 0, None, prod)
             th1 = -float(prod[ln - 1])
         else:
@@ -522,7 +564,7 @@ def _sweep_vectorized(ctx, order, x, e, zero_skip):
             if ln:
                 # Reuse the theta1 gather: g still holds the pre-update
                 # footprint values (nothing wrote to e since the read).
-                dp = mul(av, f64(delta), s1v)
+                dp = mul(av, f64(delta), sc1_views[j])
                 sub(g, dp, g)
                 e[fp] = g
     x[:] = xl
@@ -592,8 +634,7 @@ def _visit_vectorized_seq(ctx, sv, order, x, svb, zero_skip):
     voxels = sv.voxels.tolist()
     wa_views = fast.wa_views
     a_views = fast.a_views
-    sc1_views = fast.sc1_views
-    sc2_views = fast.sc2_views
+    sc1_views, sc2_views = fast.scratch()
     nb_lists = ctx.nb_idx_lists
     w_lists = ctx.nb_w_lists
     t2l = ctx.theta2_list
@@ -657,7 +698,7 @@ def _visit_vectorized_wave(ctx, sv, order, x, svb, zero_skip, stale_width):
     idx_pad = prep.idx_pad
     wa_pad = prep.wa_pad
     a_views = fast.a_views
-    sc1_views = fast.sc1_views
+    sc1_views, _ = fast.scratch()
     nb_idx = ctx.nb_idx
     w_lists = ctx.nb_w_lists
     t2l = ctx.theta2_list

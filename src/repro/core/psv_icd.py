@@ -18,16 +18,24 @@ PSV-ICD.  This preserves the algorithmically relevant property — SVs
 processed concurrently do not see each other's error-sinogram updates — and
 makes runs reproducible, which a true racy execution is not.
 
-For wall-clock-parallel execution of the same semantics, see
-:mod:`repro.core.backends`.
+For wall-clock-parallel execution of the same semantics, pass
+``backend="serial" | "thread" | "process"`` (see :mod:`repro.core.backends`):
+each wave is then handed to an execution backend with full snapshot
+isolation — the image ``x`` is snapshotted alongside ``e``, so SVs of one
+wave cannot see each other's image updates either.  The three backends are
+bit-identical to one another (and serve as each other's oracles); they
+differ from the inline emulation only in image-snapshot visibility and in
+how per-SV visit orders are seeded.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.backends import BACKENDS, SVWaveTask, make_backend, wave_task_seed
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
 from repro.core.icd import ICDResult, default_prior, initial_image
@@ -103,6 +111,9 @@ def psv_icd_reconstruct(
     kernel: str | None = "auto",
     neighborhood: Neighborhood | None = None,
     metrics: MetricsRecorder | None = None,
+    backend: str = "inline",
+    n_workers: int | None = None,
+    wave_timeout: float | None = None,
 ) -> PSVICDResult:
     """Reconstruct with the PSV-ICD algorithm (Alg. 2).
 
@@ -130,6 +141,19 @@ def psv_icd_reconstruct(
         one span per outer iteration with per-wave ``extract`` / ``update``
         / ``merge`` phase children plus per-kernel-flavor counters, and is
         attached to the result.  Instrumentation never changes iterates.
+    backend:
+        ``"inline"`` (default) runs the deterministic in-process wave
+        emulation above; ``"serial"`` / ``"thread"`` / ``"process"`` route
+        each wave through the corresponding :mod:`repro.core.backends`
+        executor with snapshot-isolation semantics.  All three backends are
+        bit-identical to one another; their iterates differ (validly) from
+        inline, which lets later SVs of a wave see earlier image updates.
+    n_workers:
+        Pool size for the thread/process backends (default: ``n_cores``
+        capped at the machine's CPU count).
+    wave_timeout:
+        Optional per-wave wall-clock budget in seconds for the pool
+        backends; overrunning SVs are recomputed inline (same iterates).
     """
     check_positive("n_cores", n_cores)
     prior = prior if prior is not None else default_prior()
@@ -145,6 +169,24 @@ def psv_icd_reconstruct(
         grid = SuperVoxelGrid(system, sv_side, overlap=overlap)
     selector = SVSelector(grid.n_svs, fraction)
 
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; use one of {BACKENDS}")
+    exec_backend = None
+    if backend != "inline":
+        if n_workers is None:
+            n_workers = max(1, min(n_cores, os.cpu_count() or 1))
+        exec_backend = make_backend(
+            backend,
+            updater=updater,
+            grid=grid,
+            scan=scan,
+            system=system,
+            prior=prior,
+            positivity=positivity,
+            n_workers=n_workers,
+            wave_timeout=wave_timeout,
+        )
+
     x = initial_image(scan, init=init).ravel().copy()
     e = updater.initial_error(x)
 
@@ -153,69 +195,94 @@ def psv_icd_reconstruct(
     n_voxels = geometry.n_voxels
     total_updates = 0
     iteration = 0
-    while total_updates < max_equits * n_voxels:
-        iteration += 1
-        selected = selector.select(iteration, rng)
-        iter_updates = 0
-        with rec.span("iteration", index=iteration):
-            for wave_start in range(0, selected.size, n_cores):
-                wave_svs = selected[wave_start : wave_start + n_cores]
-                with rec.span("wave", svs=len(wave_svs)):
-                    # Each concurrent core snapshots the error sinogram as of
-                    # the start of the wave.
-                    svbs = []
-                    originals = []
-                    with rec.span("extract"):
-                        for sv_id in wave_svs:
-                            sv = grid.svs[int(sv_id)]
-                            svb = sv.extract(e)
-                            originals.append(svb.copy())
-                            svbs.append(svb)
-                    wave_stats = []
-                    with rec.span("update"):
-                        for sv_id, svb in zip(wave_svs, svbs):
-                            sv = grid.svs[int(sv_id)]
-                            stats = process_supervoxel(
-                                sv, updater, x, svb, rng=rng,
-                                zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
-                                stale_width=1,
-                                kernel=kernel,
-                                metrics=rec,
-                            )
-                            selector.record_update(sv.index, stats.total_abs_delta)
-                            wave_stats.append(stats)
-                            iter_updates += stats.updates
-                    # Locked merge (Alg. 2 lines 16-19) at the end of the wave.
-                    with rec.span("merge"):
-                        for sv_id, svb, orig in zip(wave_svs, svbs, originals):
-                            grid.svs[int(sv_id)].accumulate_delta(svb, orig, e)
-                trace.waves.append(
-                    PSVWaveTrace(iteration=iteration, sv_stats=tuple(wave_stats))
-                )
+    try:
+        while total_updates < max_equits * n_voxels:
+            iteration += 1
+            selected = selector.select(iteration, rng)
+            iter_updates = 0
+            with rec.span("iteration", index=iteration):
+                for wave_start in range(0, selected.size, n_cores):
+                    wave_svs = selected[wave_start : wave_start + n_cores]
+                    with rec.span("wave", svs=len(wave_svs)):
+                        if exec_backend is not None:
+                            # One rng draw per wave (identical consumption in
+                            # every backend → cross-backend bit-identity);
+                            # per-SV streams derive from it collision-free.
+                            wave_seed = int(rng.integers(0, 2**63 - 1))
+                            tasks = [
+                                SVWaveTask(
+                                    sv_index=int(sv_id),
+                                    seed=wave_task_seed(wave_seed, int(sv_id)),
+                                    zero_skip=zero_skip and iteration > 1,
+                                    stale_width=1,
+                                    kernel=kernel,
+                                )
+                                for sv_id in wave_svs
+                            ]
+                            wave_stats = exec_backend.run_wave(tasks, x, e, metrics=rec)
+                            for stats in wave_stats:
+                                selector.record_update(stats.sv_index, stats.total_abs_delta)
+                                iter_updates += stats.updates
+                        else:
+                            # Each concurrent core snapshots the error sinogram
+                            # as of the start of the wave.
+                            svbs = []
+                            originals = []
+                            with rec.span("extract"):
+                                for sv_id in wave_svs:
+                                    sv = grid.svs[int(sv_id)]
+                                    svb = sv.extract(e)
+                                    originals.append(svb.copy())
+                                    svbs.append(svb)
+                            wave_stats = []
+                            with rec.span("update"):
+                                for sv_id, svb in zip(wave_svs, svbs):
+                                    sv = grid.svs[int(sv_id)]
+                                    stats = process_supervoxel(
+                                        sv, updater, x, svb, rng=rng,
+                                        zero_skip=zero_skip and iteration > 1,  # bootstrap exemption
+                                        stale_width=1,
+                                        kernel=kernel,
+                                        metrics=rec,
+                                    )
+                                    selector.record_update(sv.index, stats.total_abs_delta)
+                                    wave_stats.append(stats)
+                                    iter_updates += stats.updates
+                            # Locked merge (Alg. 2 lines 16-19) at the end of
+                            # the wave.
+                            with rec.span("merge"):
+                                for sv_id, svb, orig in zip(wave_svs, svbs, originals):
+                                    grid.svs[int(sv_id)].accumulate_delta(svb, orig, e)
+                    trace.waves.append(
+                        PSVWaveTrace(iteration=iteration, sv_stats=tuple(wave_stats))
+                    )
 
-            total_updates += iter_updates
-            img = x.reshape(geometry.n_pixels, geometry.n_pixels)
-            with rec.span("bookkeeping"):
-                cost = (
-                    map_cost(img, scan, system, prior, neighborhood)
-                    if track_cost
-                    else float("nan")
+                total_updates += iter_updates
+                img = x.reshape(geometry.n_pixels, geometry.n_pixels)
+                with rec.span("bookkeeping"):
+                    cost = (
+                        map_cost(img, scan, system, prior, neighborhood)
+                        if track_cost
+                        else float("nan")
+                    )
+                    rmse = rmse_hu(img, golden) if golden is not None else None
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    equits=total_updates / n_voxels,
+                    cost=cost,
+                    rmse=rmse,
+                    updates=iter_updates,
+                    svs_updated=int(selected.size),
                 )
-                rmse = rmse_hu(img, golden) if golden is not None else None
-        history.append(
-            IterationRecord(
-                iteration=iteration,
-                equits=total_updates / n_voxels,
-                cost=cost,
-                rmse=rmse,
-                updates=iter_updates,
-                svs_updated=int(selected.size),
             )
-        )
-        if iter_updates == 0 and iteration > 1:
-            break
-        if stop_rmse is not None and rmse is not None and rmse < stop_rmse:
-            break
+            if iter_updates == 0 and iteration > 1:
+                break
+            if stop_rmse is not None and rmse is not None and rmse < stop_rmse:
+                break
+    finally:
+        if exec_backend is not None:
+            exec_backend.close()
 
     history.mark_converged_if_below(stop_rmse if stop_rmse is not None else RMSE_CONVERGED_HU)
     return PSVICDResult(

@@ -41,6 +41,7 @@ kernel produce **bit-identical** iterates:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -175,6 +176,7 @@ class SliceUpdater:
         self.indptr = A.indptr
         self.a_data = A.data if store_dtype == np.float32 else a64
         self._context = None  # lazily built kernel-layer view (kernels.py)
+        self._context_lock = threading.Lock()  # wave workers share one updater
 
     # ------------------------------------------------------------------
     def column_slice(self, voxel: int) -> slice:
@@ -278,11 +280,18 @@ class SliceUpdater:
         tables, prior constants, scratch) that the ``vectorized`` and
         ``numba`` kernels execute over.  Imported lazily to keep this module
         free of the (optional) compiled-kernel machinery.
+
+        Thread-safe: concurrent wave workers (``ThreadBackend``) race to the
+        first call, and an unguarded lazy build would hand one of them a
+        half-initialised context.  Double-checked locking keeps the hot
+        (already-built) path at one attribute read.
         """
         if self._context is None:
-            from repro.core.kernels import KernelContext
+            with self._context_lock:
+                if self._context is None:
+                    from repro.core.kernels import KernelContext
 
-            self._context = KernelContext(self)
+                    self._context = KernelContext(self)
         return self._context
 
     def should_skip(self, voxel: int, x_flat: np.ndarray) -> bool:

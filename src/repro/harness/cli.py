@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="equits per instrumented 'profile' run (default 2)")
     parser.add_argument("--metrics-json", metavar="PATH", default=None,
                         help="write the 'profile' span/counter report as JSON")
+    parser.add_argument("--backend", choices=["inline", "serial", "thread", "process"],
+                        default="inline",
+                        help="wave execution backend for the PSV/GPU drivers in "
+                        "'profile' (default inline; see repro.core.backends)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="pool size for --backend thread/process "
+                        "(default: driver-chosen)")
     return parser
 
 
@@ -124,21 +131,31 @@ def _run_profile(args) -> None:
     system = build_system_matrix(geom)
     scan = simulate_scan(shepp_logan(n), system, seed=args.seed)
     common = dict(max_equits=args.equits, seed=args.seed, track_cost=False)
+    # The sequential ICD driver has no wave structure, so --backend only
+    # applies to the PSV/GPU drivers.
+    wave = dict(backend=args.backend, n_workers=args.workers)
 
     drivers = {}
     if args.driver in ("icd", "all"):
         drivers["icd"] = lambda rec: icd_reconstruct(scan, system, metrics=rec, **common)
     if args.driver in ("psv", "all"):
         drivers["psv_icd"] = lambda rec: psv_icd_reconstruct(
-            scan, system, sv_side=min(13, n), metrics=rec, **common
+            scan, system, sv_side=min(13, n), metrics=rec, **common, **wave
         )
     gpu_params = GPUICDParams(sv_side=min(33, n))
     if args.driver in ("gpu", "all"):
         drivers["gpu_icd"] = lambda rec: gpu_icd_reconstruct(
-            scan, system, params=gpu_params, metrics=rec, **common
+            scan, system, params=gpu_params, metrics=rec, **common, **wave
         )
 
-    report = {"pixels": n, "max_equits": args.equits, "seed": args.seed, "drivers": {}}
+    report = {
+        "pixels": n,
+        "max_equits": args.equits,
+        "seed": args.seed,
+        "backend": args.backend,
+        "workers": args.workers,
+        "drivers": {},
+    }
     for name, run in drivers.items():
         rec = MetricsRecorder()
         with rec.span("run", driver=name):

@@ -99,6 +99,14 @@ def save_reconstruction(
         payload["converged_equits"] = np.array(
             np.nan if history.converged_equits is None else history.converged_equits
         )
+        # NaN encodes None for the optional convergence fields; iteration
+        # numbers are integers, so the float carrier round-trips exactly.
+        payload["converged_iteration"] = np.array(
+            np.nan if history.converged_iteration is None else float(history.converged_iteration)
+        )
+        payload["converged_threshold_hu"] = np.array(
+            np.nan if history.converged_threshold_hu is None else history.converged_threshold_hu
+        )
     np.savez_compressed(path, **payload)
 
 
@@ -128,4 +136,14 @@ def load_reconstruction(path: str | Path) -> tuple[np.ndarray, RunHistory | None
             ce = float(data["converged_equits"])
             if not np.isnan(ce):
                 history.converged_equits = ce
+            # Files written before these fields existed simply lack the keys
+            # (the v1 format tag is unchanged); leave the attributes None.
+            if "converged_iteration" in data:
+                ci = float(data["converged_iteration"])
+                if not np.isnan(ci):
+                    history.converged_iteration = int(ci)
+            if "converged_threshold_hu" in data:
+                ct = float(data["converged_threshold_hu"])
+                if not np.isnan(ct):
+                    history.converged_threshold_hu = ct
         return image, history, metadata

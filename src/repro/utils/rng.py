@@ -14,15 +14,19 @@ import numpy as np
 __all__ = ["resolve_rng", "spawn_rngs"]
 
 
-def resolve_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+def resolve_rng(
+    seed: int | np.random.Generator | np.random.SeedSequence | None,
+) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Parameters
     ----------
     seed:
-        ``None`` for a fresh nondeterministic generator, an ``int`` for a
-        deterministic one, or an existing ``Generator`` which is returned
-        unchanged (so callers can thread one generator through a pipeline).
+        ``None`` for a fresh nondeterministic generator, an ``int`` or a
+        :class:`numpy.random.SeedSequence` (how the wave backends derive
+        collision-free per-SV streams) for a deterministic one, or an
+        existing ``Generator`` which is returned unchanged (so callers can
+        thread one generator through a pipeline).
     """
     if isinstance(seed, np.random.Generator):
         return seed

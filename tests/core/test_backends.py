@@ -5,15 +5,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import Neighborhood, SliceUpdater, SuperVoxelGrid
+from repro.core import HAVE_NUMBA, Neighborhood, SliceUpdater, SuperVoxelGrid
 from repro.core.backends import (
     ProcessBackend,
     SerialBackend,
     SVWaveTask,
     ThreadBackend,
+    make_backend,
     run_wave,
+    wave_task_seed,
 )
 from repro.core.icd import default_prior, initial_image
+from repro.observability import MetricsRecorder
+
+KERNEL_MATRIX = [
+    "python",
+    "vectorized",
+    pytest.param("numba", marks=pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")),
+]
 
 
 @pytest.fixture(scope="module")
@@ -114,6 +123,235 @@ class TestProcessBackend:
             backend.close()
 
 
+class TestCrossBackendEquivalence:
+    """Serial == Thread == Process, bit-identical, for every kernel flavor."""
+
+    WAVE = [0, 3, 5, 9, 12]
+
+    @pytest.mark.parametrize("kernel", KERNEL_MATRIX)
+    def test_matrix(self, state, scan32, system32, kernel):
+        updater, grid = state
+        reference = None
+        for name in ("serial", "thread", "process"):
+            backend = make_backend(
+                name,
+                updater=updater,
+                grid=grid,
+                scan=scan32,
+                system=system32,
+                prior=default_prior(),
+                n_workers=2,
+            )
+            with backend:
+                x, e = fresh(scan32, updater)
+                run_wave(backend, self.WAVE, x, e, base_seed=11, kernel=kernel)
+            if reference is None:
+                reference = (x, e)
+            else:
+                np.testing.assert_array_equal(reference[0], x, err_msg=name)
+                np.testing.assert_array_equal(reference[1], e, err_msg=name)
+
+    def test_thread_stress_vectorized(self, state, scan32):
+        """Wide thread waves with the vectorized kernel stay bit-identical.
+
+        Regression test for the shared-KernelContext race: the vectorized
+        kernel's scratch buffers were shared across pool threads, so wide
+        waves silently corrupted theta1/theta2.  Scratch is now per-thread;
+        repeated wide waves must replay the serial iterates exactly.
+        """
+        updater, grid = state
+        all_svs = list(range(grid.n_svs))
+        xs, es = fresh(scan32, updater)
+        with SerialBackend(updater, grid) as serial:
+            for sweep in range(3):
+                run_wave(serial, all_svs, xs, es, base_seed=sweep, kernel="vectorized")
+        xt, et = fresh(scan32, updater)
+        with ThreadBackend(updater, grid, n_workers=8) as threaded:
+            for sweep in range(3):
+                run_wave(threaded, all_svs, xt, et, base_seed=sweep, kernel="vectorized")
+        np.testing.assert_array_equal(xs, xt)
+        np.testing.assert_array_equal(es, et)
+
+
+class TestLifecycle:
+    def test_close_idempotent(self, state):
+        updater, grid = state
+        backend = ThreadBackend(updater, grid, n_workers=2)
+        backend.close()
+        backend.close()  # second close is a no-op, not an error
+        assert backend.closed
+
+    def test_context_manager(self, state, scan32):
+        updater, grid = state
+        with ThreadBackend(updater, grid, n_workers=2) as backend:
+            x, e = fresh(scan32, updater)
+            run_wave(backend, [0], x, e)
+        assert backend.closed
+
+    def test_run_after_close_raises(self, state, scan32):
+        updater, grid = state
+        backend = SerialBackend(updater, grid)
+        backend.close()
+        x, e = fresh(scan32, updater)
+        with pytest.raises(RuntimeError):
+            run_wave(backend, [0], x, e)
+
+    def test_process_close_idempotent(self, state, scan32, system32):
+        backend = ProcessBackend(scan32, system32, default_prior(), sv_side=8, n_workers=2)
+        backend.close()
+        backend.close()
+        with pytest.raises(RuntimeError):
+            run_wave(backend, [0], *fresh(scan32, state[0]))
+
+    def test_invalid_backend_name(self, state):
+        updater, grid = state
+        with pytest.raises(ValueError):
+            make_backend("gpu", updater=updater, grid=grid)
+
+    def test_process_requires_slice_state(self, state):
+        updater, grid = state
+        with pytest.raises(ValueError):
+            make_backend("process", updater=updater, grid=grid)
+
+
+class TestMetricsInstrumentation:
+    def test_wave_phases_recorded(self, state, scan32):
+        """Backends fire the same extract/update/merge spans as the drivers."""
+        updater, grid = state
+        rec = MetricsRecorder()
+        with SerialBackend(updater, grid) as backend:
+            x, e = fresh(scan32, updater)
+            run_wave(backend, [0, 3], x, e, metrics=rec)
+        totals = rec.span_totals()
+        assert {"extract", "update", "merge"} <= set(totals)
+        assert totals["extract"]["count"] == 1
+        assert totals["update"]["count"] == 1
+        assert totals["merge"]["count"] == 1
+
+    def test_metrics_do_not_change_iterates(self, state, scan32):
+        updater, grid = state
+        with SerialBackend(updater, grid) as backend:
+            x0, e0 = fresh(scan32, updater)
+            run_wave(backend, [1, 4], x0, e0)
+            x1, e1 = fresh(scan32, updater)
+            run_wave(backend, [1, 4], x1, e1, metrics=MetricsRecorder())
+        np.testing.assert_array_equal(x0, x1)
+        np.testing.assert_array_equal(e0, e1)
+
+
+class TestSharedMemoryTransport:
+    def test_per_task_payload_is_small(self, state, scan32, system32):
+        """Tasks ship a segment name + offsets, never the snapshots."""
+        updater, grid = state
+        x, e = fresh(scan32, updater)
+        snapshot_bytes = x.nbytes + e.nbytes
+        assert snapshot_bytes > 8_000  # the snapshots are genuinely big ...
+        backend = ProcessBackend(scan32, system32, default_prior(), sv_side=8, n_workers=2)
+        try:
+            run_wave(backend, [0, 3, 5], x, e)
+            assert 0 < backend.last_task_payload_bytes < 2_048  # ... the payload is not
+        finally:
+            backend.close()
+
+
+class TestFaultTolerance:
+    def test_worker_crash_falls_back_inline(self, state, scan32, system32):
+        """A crashing worker degrades to inline recomputation, bit-identical."""
+        updater, grid = state
+        xs, es = fresh(scan32, updater)
+        with SerialBackend(updater, grid) as serial:
+            run_wave(serial, [1, 6, 10], xs, es, base_seed=4)
+
+        backend = ProcessBackend(
+            scan32,
+            system32,
+            default_prior(),
+            sv_side=8,
+            n_workers=2,
+            _fault_injection=("crash", (6,), 0.0),
+        )
+        try:
+            xp, ep = fresh(scan32, updater)
+            run_wave(backend, [1, 6, 10], xp, ep, base_seed=4)
+            np.testing.assert_array_equal(xs, xp)
+            np.testing.assert_array_equal(es, ep)
+            assert backend.inline_fallbacks >= 1
+            assert backend.pools_rebuilt >= 1
+        finally:
+            backend.close()
+
+    def test_wave_timeout_falls_back_inline(self, state, scan32, system32):
+        """A stalled worker trips the wave timeout; iterates are unchanged."""
+        updater, grid = state
+        xs, es = fresh(scan32, updater)
+        with SerialBackend(updater, grid) as serial:
+            run_wave(serial, [2, 7], xs, es, base_seed=9)
+
+        backend = ProcessBackend(
+            scan32,
+            system32,
+            default_prior(),
+            sv_side=8,
+            n_workers=2,
+            wave_timeout=0.5,
+            _fault_injection=("stall", (7,), 5.0),
+        )
+        try:
+            xp, ep = fresh(scan32, updater)
+            run_wave(backend, [2, 7], xp, ep, base_seed=9)
+            np.testing.assert_array_equal(xs, xp)
+            np.testing.assert_array_equal(es, ep)
+            assert backend.inline_fallbacks >= 1
+        finally:
+            backend.close()
+
+
+class TestDriverIntegration:
+    """The backend path of the PSV/GPU drivers: all backends bit-identical."""
+
+    def test_psv_backends_bit_identical(self, scan32, system32):
+        from repro.core import psv_icd_reconstruct
+
+        kw = dict(
+            sv_side=8, n_cores=4, max_equits=1.0, track_cost=False, seed=3,
+            kernel="vectorized",
+        )
+        images = {}
+        for backend in ("serial", "thread", "process"):
+            res = psv_icd_reconstruct(scan32, system32, backend=backend, n_workers=2, **kw)
+            images[backend] = res.image
+        np.testing.assert_array_equal(images["serial"], images["thread"])
+        np.testing.assert_array_equal(images["serial"], images["process"])
+
+    def test_gpu_backends_bit_identical(self, scan32, system32):
+        from repro.core import GPUICDParams, gpu_icd_reconstruct
+
+        kw = dict(
+            params=GPUICDParams(sv_side=16, batch_size=2),
+            max_equits=1.0, track_cost=False, seed=3, kernel="vectorized",
+        )
+        ser = gpu_icd_reconstruct(scan32, system32, backend="serial", **kw)
+        prc = gpu_icd_reconstruct(scan32, system32, backend="process", n_workers=2, **kw)
+        np.testing.assert_array_equal(ser.image, prc.image)
+
+    def test_unknown_backend_rejected(self, scan32, system32):
+        from repro.core import psv_icd_reconstruct
+
+        with pytest.raises(ValueError):
+            psv_icd_reconstruct(scan32, system32, backend="cuda")
+
+    def test_backend_spans_fire_in_driver(self, scan32, system32):
+        from repro.core import psv_icd_reconstruct
+
+        rec = MetricsRecorder()
+        psv_icd_reconstruct(
+            scan32, system32, sv_side=8, max_equits=0.5, track_cost=False,
+            backend="serial", metrics=rec,
+        )
+        totals = rec.span_totals()
+        assert {"iteration", "wave", "extract", "update", "merge"} <= set(totals)
+
+
 class TestTaskSeeding:
     def test_per_sv_seeds_stable(self, state, scan32):
         """The same wave replays identically (seeds derive from SV ids)."""
@@ -130,3 +368,22 @@ class TestTaskSeeding:
         t = SVWaveTask(sv_index=3, seed=1)
         assert t.zero_skip is True
         assert t.stale_width == 1
+
+    def test_seed_scheme_collision_free(self):
+        """Regression: the old affine scheme collided across (seed, sv) pairs.
+
+        ``base_seed * 1_000_003 + sv_index`` gave (0, 1_000_003) and (1, 0)
+        the same integer seed, i.e. identical visit orders.  The
+        SeedSequence spawn-key derivation keeps the streams distinct.
+        """
+        a = np.random.default_rng(wave_task_seed(0, 1_000_003))
+        b = np.random.default_rng(wave_task_seed(1, 0))
+        assert not np.array_equal(
+            a.integers(0, 2**63, size=16), b.integers(0, 2**63, size=16)
+        )
+
+    def test_seed_stable_across_wave_composition(self):
+        """An SV's stream depends on (base_seed, sv), not on wave position."""
+        first = np.random.default_rng(wave_task_seed(7, 42)).integers(0, 2**63, 4)
+        again = np.random.default_rng(wave_task_seed(7, 42)).integers(0, 2**63, 4)
+        np.testing.assert_array_equal(first, again)

@@ -87,6 +87,59 @@ class TestReconstructionRoundtrip:
         _, loaded, _ = load_reconstruction(p)
         assert loaded.converged_equits == 1.0
 
+    def test_convergence_judgement_preserved(self, tmp_path):
+        """converged_iteration / converged_threshold_hu survive the round-trip.
+
+        Regression: earlier versions persisted only converged_equits, so an
+        archived run lost which convergence bar it had been judged against.
+        """
+        from repro.core.convergence import IterationRecord, RunHistory
+
+        h = RunHistory()
+        h.append(IterationRecord(1, 1.0, 2.0, 25.0, 10, 1))
+        h.mark_converged_if_below(30.0)
+        assert h.converged_iteration == 1  # precondition
+        p = tmp_path / "r.npz"
+        save_reconstruction(p, np.zeros((2, 2)), h)
+        _, loaded, _ = load_reconstruction(p)
+        assert loaded.converged_equits == h.converged_equits
+        assert loaded.converged_iteration == 1
+        assert loaded.converged_threshold_hu == 30.0
+
+    def test_never_converged_round_trips_as_none(self, tmp_path):
+        from repro.core.convergence import IterationRecord, RunHistory
+
+        h = RunHistory()
+        h.append(IterationRecord(1, 1.0, 2.0, 99.0, 10, 1))
+        h.mark_converged_if_below(30.0)
+        p = tmp_path / "r.npz"
+        save_reconstruction(p, np.zeros((2, 2)), h)
+        _, loaded, _ = load_reconstruction(p)
+        assert loaded.converged_equits is None
+        assert loaded.converged_iteration is None
+        assert loaded.converged_threshold_hu == 30.0  # threshold always recorded
+
+    def test_old_format_files_still_load(self, tmp_path):
+        """Files written before the new keys existed load with fields None."""
+        from repro.core.convergence import IterationRecord, RunHistory
+
+        h = RunHistory()
+        h.append(IterationRecord(1, 1.0, 2.0, 5.0, 10, 1))
+        p = tmp_path / "old.npz"
+        save_reconstruction(p, np.zeros((2, 2)), h)
+        # Rewrite the archive without the two new keys, as an old writer did.
+        with np.load(p, allow_pickle=False) as data:
+            stripped = {
+                k: data[k]
+                for k in data.files
+                if k not in ("converged_iteration", "converged_threshold_hu")
+            }
+        np.savez_compressed(p, **stripped)
+        _, loaded, _ = load_reconstruction(p)
+        assert loaded is not None
+        assert loaded.converged_iteration is None
+        assert loaded.converged_threshold_hu is None
+
     def test_wrong_format_rejected(self, tmp_path):
         p = tmp_path / "bad.npz"
         np.savez(p, format=np.array("repro-scan-v1"), image=np.zeros((2, 2)))
