@@ -26,6 +26,10 @@ Subpackages
     and the parallel Gauss-Seidel analogy.
 ``repro.harness``
     One experiment driver per table and figure of the paper's evaluation.
+``repro.resilience``
+    Checkpoint/resume with bit-identical replay, the numerical-integrity
+    sentinel (NaN/Inf guards + error-sinogram drift repair), and the
+    fault-injection test harness.
 
 Quickstart
 ----------
@@ -81,6 +85,13 @@ from repro.gpusim import (
     occupancy,
 )
 from repro.observability import MetricsRecorder, NullRecorder
+from repro.resilience import (
+    Checkpoint,
+    CheckpointManager,
+    FaultInjector,
+    IntegritySentinel,
+    StateCorruptionError,
+)
 
 __version__ = "1.0.0"
 
@@ -127,4 +138,10 @@ __all__ = [
     # observability
     "MetricsRecorder",
     "NullRecorder",
+    # resilience
+    "Checkpoint",
+    "CheckpointManager",
+    "IntegritySentinel",
+    "FaultInjector",
+    "StateCorruptionError",
 ]

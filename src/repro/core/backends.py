@@ -50,6 +50,13 @@ base_seed, spawn_key=(sv_index,))`` — the spawn-key construction NumPy
 guarantees collision-free — replacing an older affine scheme
 (``base_seed * 1_000_003 + sv_index``) whose (base_seed, sv) pairs could
 collide.  Backend iterates changed at that switch; no test pinned them.
+
+Fault injection: the pool backends accept a ``fault_injection`` spec —
+``(mode, sv_indices, stall_seconds)`` with mode ``"crash"`` or ``"stall"``,
+as built by :meth:`repro.resilience.FaultInjector.worker_fault` — that
+makes workers die (ProcessBackend), raise (ThreadBackend), or stall on the
+listed SVs, so the inline-fallback and pool-rebuild recovery paths are
+provably exercised by tests rather than trusted on faith.
 """
 
 from __future__ import annotations
@@ -286,6 +293,18 @@ class SerialBackend:
         return False
 
 
+def _inject_local_fault(fault_injection: tuple | None, sv_index: int) -> None:
+    """Apply a ``(mode, svs, seconds)`` fault spec inside a thread worker."""
+    if not fault_injection:
+        return
+    mode, svs, seconds = fault_injection
+    if sv_index in svs:
+        if mode == "crash":
+            raise RuntimeError(f"injected worker crash on SV {sv_index}")
+        if mode == "stall":
+            time.sleep(seconds)
+
+
 class ThreadBackend(SerialBackend):
     """Snapshot-isolation wave execution on a thread pool.
 
@@ -295,6 +314,11 @@ class ThreadBackend(SerialBackend):
     and reads only the immutable wave snapshot.  A timed-out worker thread
     cannot be killed; its result is simply discarded (it only ever touches
     private copies).
+
+    ``fault_injection`` optionally carries a
+    :meth:`repro.resilience.FaultInjector.worker_fault` spec; affected SVs
+    raise (crash) or sleep (stall) inside the worker, exercising the
+    fallback path above.
     """
 
     name = "thread"
@@ -306,6 +330,7 @@ class ThreadBackend(SerialBackend):
         *,
         n_workers: int = 4,
         wave_timeout: float | None = None,
+        fault_injection: tuple | None = None,
     ) -> None:
         super().__init__(updater, grid)
         check_positive("n_workers", n_workers)
@@ -313,14 +338,17 @@ class ThreadBackend(SerialBackend):
             check_positive("wave_timeout", wave_timeout)
         self.n_workers = int(n_workers)
         self.wave_timeout = wave_timeout
+        self.fault_injection = fault_injection
         #: tasks recomputed inline after a worker failure or wave timeout.
         self.inline_fallbacks = 0
         self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
 
+    def _run_task(self, task, x_snapshot, e_snapshot):
+        _inject_local_fault(self.fault_injection, task.sv_index)
+        return _process_one(task, self.updater, self.grid, x_snapshot, e_snapshot)
+
     def _submit(self, task, x_snapshot, e_snapshot):
-        return self._pool.submit(
-            _process_one, task, self.updater, self.grid, x_snapshot, e_snapshot
-        )
+        return self._pool.submit(self._run_task, task, x_snapshot, e_snapshot)
 
     def _execute(self, tasks, x_snapshot, e_snapshot, rec) -> list[SVWaveResult]:
         futures = [(self._submit(t, x_snapshot, e_snapshot), t) for t in tasks]
@@ -502,6 +530,12 @@ class ProcessBackend:
     updater, grid:
         Optional prebuilt local mirror (used for merging and inline
         fallback); built from the other arguments when omitted.
+    fault_injection:
+        Optional ``(mode, sv_indices, stall_seconds)`` worker-fault spec
+        (see :meth:`repro.resilience.FaultInjector.worker_fault`); affected
+        SVs kill (crash) or sleep (stall) their worker process.
+        ``_fault_injection`` is the older spelling, kept for callers that
+        predate the public name.
     """
 
     name = "process"
@@ -519,11 +553,14 @@ class ProcessBackend:
         wave_timeout: float | None = None,
         updater: SliceUpdater | None = None,
         grid: SuperVoxelGrid | None = None,
+        fault_injection: tuple | None = None,
         _fault_injection: tuple | None = None,
     ) -> None:
         check_positive("n_workers", n_workers)
         if wave_timeout is not None:
             check_positive("wave_timeout", wave_timeout)
+        if fault_injection is None:
+            fault_injection = _fault_injection
         if updater is None:
             neighborhood = shared_neighborhood(system.geometry.n_pixels)
             updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
@@ -540,7 +577,7 @@ class ProcessBackend:
         #: pickled bytes per task of the last wave (task + snapshot handle).
         self.last_task_payload_bytes = 0
         self._closed = False
-        self._initargs = (scan, system, prior, sv_side, overlap, positivity, _fault_injection)
+        self._initargs = (scan, system, prior, sv_side, overlap, positivity, fault_injection)
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._make_pool()
 
@@ -647,17 +684,29 @@ def make_backend(
     positivity: bool = True,
     n_workers: int = 4,
     wave_timeout: float | None = None,
+    fault_injection: tuple | None = None,
 ):
     """Build an execution backend by name ("serial" / "thread" / "process").
 
     The drivers call this with their own updater/grid so all backends merge
     through the exact same local state; ``scan``/``system``/``prior`` are
-    required for "process" (workers rebuild from them).
+    required for "process" (workers rebuild from them).  ``fault_injection``
+    (a :meth:`repro.resilience.FaultInjector.worker_fault` spec) is only
+    meaningful for the pool backends — the serial backend has no workers to
+    fault, so passing one raises.
     """
     if name == "serial":
+        if fault_injection is not None:
+            raise ValueError("backend='serial' has no workers to fault-inject")
         return SerialBackend(updater, grid)
     if name == "thread":
-        return ThreadBackend(updater, grid, n_workers=n_workers, wave_timeout=wave_timeout)
+        return ThreadBackend(
+            updater,
+            grid,
+            n_workers=n_workers,
+            wave_timeout=wave_timeout,
+            fault_injection=fault_injection,
+        )
     if name == "process":
         if scan is None or system is None or prior is None:
             raise ValueError("backend='process' needs scan, system and prior")
@@ -672,6 +721,7 @@ def make_backend(
             wave_timeout=wave_timeout,
             updater=updater,
             grid=grid,
+            fault_injection=fault_injection,
         )
     raise ValueError(f"unknown backend {name!r}; use one of {BACKENDS}")
 

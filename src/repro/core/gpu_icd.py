@@ -37,7 +37,7 @@ import numpy as np
 from repro.core.backends import BACKENDS, SVWaveTask, make_backend, wave_task_seed
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
-from repro.core.icd import ICDResult, default_prior, initial_image
+from repro.core.icd import ICDResult, default_prior, initial_image, resilience_hooks
 from repro.core.kernels import resolve_kernel
 from repro.core.prior import Neighborhood, Prior, shared_neighborhood
 from repro.core.selection import SVSelector
@@ -47,7 +47,7 @@ from repro.core.voxel_update import SliceUpdater
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
 from repro.observability import MetricsRecorder, as_recorder
-from repro.utils import check_positive, resolve_rng
+from repro.utils import check_finite, check_positive, resolve_rng
 
 __all__ = [
     "GPUICDParams",
@@ -156,6 +156,11 @@ def gpu_icd_reconstruct(
     backend: str = "inline",
     n_workers: int | None = None,
     wave_timeout: float | None = None,
+    fault_injection: tuple | None = None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume_from=None,
+    sentinel=None,
 ) -> GPUICDResult:
     """Reconstruct with the GPU-ICD algorithm (Alg. 3).
 
@@ -184,11 +189,20 @@ def gpu_icd_reconstruct(
     per SV.  All three backends are bit-identical to one another (the
     iterates differ validly from inline — see
     :func:`repro.core.psv_icd.psv_icd_reconstruct`).  ``n_workers`` and
-    ``wave_timeout`` configure the pool backends.
+    ``wave_timeout`` configure the pool backends; ``fault_injection``
+    forwards a test-only worker-fault spec to them.
+
+    ``checkpoint`` / ``checkpoint_every`` / ``resume_from`` / ``sentinel``
+    enable the resilience layer (disabled by default) with the same
+    semantics as :func:`repro.core.icd.icd_reconstruct`; checkpoints
+    additionally persist the :class:`SVSelector` update-amount state so the
+    selection schedule resumes bit-identically.
     """
     params = params if params is not None else GPUICDParams()
     prior = prior if prior is not None else default_prior()
     rec = as_recorder(metrics)
+    check_finite("scan.sinogram", scan.sinogram)
+    check_finite("scan.weights", scan.weights)
     geometry = system.geometry
     if neighborhood is None:
         neighborhood = shared_neighborhood(geometry.n_pixels)
@@ -217,16 +231,30 @@ def gpu_icd_reconstruct(
             positivity=positivity,
             n_workers=n_workers,
             wave_timeout=wave_timeout,
+            fault_injection=fault_injection,
         )
+    elif fault_injection is not None:
+        raise ValueError("fault_injection requires a pool backend ('thread'/'process')")
 
-    x = initial_image(scan, init=init).ravel().copy()
-    e = updater.initial_error(x)
-
-    history = RunHistory()
-    trace = GPUExecutionTrace(params=params)
     n_voxels = geometry.n_voxels
-    total_updates = 0
-    iteration = 0
+    hooks = resilience_hooks(
+        "gpu_icd", checkpoint, checkpoint_every, resume_from, sentinel, metrics
+    )
+    ckpt = hooks.resume_state() if hooks is not None else None
+    if ckpt is not None:
+        hooks.validate_shapes(ckpt, n_voxels=n_voxels, n_measurements=scan.n_measurements)
+        x, e, rng, history, iteration, total_updates = hooks.apply_resume(
+            ckpt, rng=rng, selector=selector
+        )
+    else:
+        x = initial_image(scan, init=init).ravel().copy()
+        check_finite(f"initial image (init={init!r})", x)
+        e = updater.initial_error(x)
+        history = RunHistory()
+        total_updates = 0
+        iteration = 0
+
+    trace = GPUExecutionTrace(params=params)
     try:
         while total_updates < max_equits * n_voxels:
             iteration += 1
@@ -335,6 +363,20 @@ def gpu_icd_reconstruct(
                     svs_updated=iter_svs,
                 )
             )
+            if hooks is not None:
+                rolled = hooks.after_iteration(
+                    iteration=iteration,
+                    total_updates=total_updates,
+                    x=x,
+                    e=e,
+                    rng=rng,
+                    history=history,
+                    updater=updater,
+                    selector=selector,
+                )
+                if rolled is not None:  # corruption detected: replay from checkpoint
+                    iteration, total_updates = rolled
+                    continue
             if iter_updates == 0 and iteration > 1:
                 break
             if stop_rmse is not None and rmse is not None and rmse < stop_rmse:

@@ -28,9 +28,37 @@ from repro.ct.phantoms import MU_WATER
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
 from repro.observability import MetricsRecorder, as_recorder
-from repro.utils import resolve_rng
+from repro.utils import check_finite, resolve_rng
 
-__all__ = ["ICDResult", "icd_reconstruct", "golden_reconstruction", "default_prior", "initial_image"]
+__all__ = [
+    "ICDResult",
+    "icd_reconstruct",
+    "golden_reconstruction",
+    "default_prior",
+    "initial_image",
+]
+
+
+def resilience_hooks(
+    driver: str, checkpoint, checkpoint_every, resume_from, sentinel, metrics
+):
+    """Build the shared checkpoint/sentinel glue, or None when all-disabled.
+
+    Lazily imports :mod:`repro.resilience` so the default (disabled) driver
+    path pays nothing and the core package carries no import cycle.
+    """
+    if checkpoint is None and resume_from is None and sentinel is None:
+        return None
+    from repro.resilience import ResilienceHooks
+
+    return ResilienceHooks(
+        driver=driver,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume_from=resume_from,
+        sentinel=sentinel,
+        metrics=metrics,
+    )
 
 
 def default_prior(scale: float = MU_WATER) -> QGGMRFPrior:
@@ -90,6 +118,10 @@ def icd_reconstruct(
     kernel: str | None = "auto",
     neighborhood: Neighborhood | None = None,
     metrics: MetricsRecorder | None = None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume_from=None,
+    sentinel=None,
 ) -> ICDResult:
     """Reconstruct by sequential ICD.
 
@@ -128,9 +160,25 @@ def icd_reconstruct(
         given it records one span per outer iteration (with ``sweep`` and
         ``bookkeeping`` children) plus per-kernel-flavor counters, and is
         attached to the result.  Instrumentation never changes iterates.
+    checkpoint, checkpoint_every, resume_from, sentinel:
+        Resilience layer (all disabled by default; see
+        :mod:`repro.resilience` and DESIGN.md §11).  ``checkpoint`` is a
+        :class:`~repro.resilience.CheckpointManager` or a directory path;
+        full resumable state is persisted atomically every
+        ``checkpoint_every`` iterations.  ``resume_from`` (a checkpoint
+        file/dir, a :class:`~repro.resilience.Checkpoint`, or ``"latest"``)
+        restores that state exactly — a resumed run is bit-identical to an
+        uninterrupted one.  ``sentinel`` (an
+        :class:`~repro.resilience.IntegritySentinel`) guards ``x``/``e``
+        against NaN/Inf each iteration and can periodically recompute
+        ``y - Ax`` to bound error-sinogram drift; on detected corruption
+        the run rolls back to the last valid checkpoint (or raises
+        :class:`~repro.resilience.StateCorruptionError` when none exists).
     """
     prior = prior if prior is not None else default_prior()
     rec = as_recorder(metrics)
+    check_finite("scan.sinogram", scan.sinogram)
+    check_finite("scan.weights", scan.weights)
     geometry = system.geometry
     if neighborhood is None:
         neighborhood = shared_neighborhood(geometry.n_pixels)
@@ -138,14 +186,20 @@ def icd_reconstruct(
     updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
     ctx = updater.context()  # hoisted per-voxel footprint views + kernel state
     rng = resolve_rng(seed)
-
-    x = initial_image(scan, init=init).ravel().copy()
-    e = updater.initial_error(x)
-
-    history = RunHistory()
     n_voxels = geometry.n_voxels
-    total_updates = 0
-    iteration = 0
+
+    hooks = resilience_hooks("icd", checkpoint, checkpoint_every, resume_from, sentinel, metrics)
+    ckpt = hooks.resume_state() if hooks is not None else None
+    if ckpt is not None:
+        hooks.validate_shapes(ckpt, n_voxels=n_voxels, n_measurements=scan.n_measurements)
+        x, e, rng, history, iteration, total_updates = hooks.apply_resume(ckpt, rng=rng)
+    else:
+        x = initial_image(scan, init=init).ravel().copy()
+        check_finite(f"initial image (init={init!r})", x)
+        e = updater.initial_error(x)
+        history = RunHistory()
+        total_updates = 0
+        iteration = 0
     while total_updates < max_equits * n_voxels:
         iteration += 1
         order = rng.permutation(n_voxels)
@@ -177,6 +231,19 @@ def icd_reconstruct(
                 svs_updated=0,
             )
         )
+        if hooks is not None:
+            rolled = hooks.after_iteration(
+                iteration=iteration,
+                total_updates=total_updates,
+                x=x,
+                e=e,
+                rng=rng,
+                history=history,
+                updater=updater,
+            )
+            if rolled is not None:  # corruption detected: replay from checkpoint
+                iteration, total_updates = rolled
+                continue
         if updates == 0:
             break  # fully zero image with zero data: nothing will change
         if stop_rmse is not None and rmse is not None and rmse < stop_rmse:

@@ -38,7 +38,7 @@ import numpy as np
 from repro.core.backends import BACKENDS, SVWaveTask, make_backend, wave_task_seed
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
-from repro.core.icd import ICDResult, default_prior, initial_image
+from repro.core.icd import ICDResult, default_prior, initial_image, resilience_hooks
 from repro.core.kernels import resolve_kernel
 from repro.core.prior import Neighborhood, Prior, shared_neighborhood
 from repro.core.selection import SVSelector
@@ -48,7 +48,7 @@ from repro.core.voxel_update import SliceUpdater
 from repro.ct.sinogram import ScanData
 from repro.ct.system_matrix import SystemMatrix
 from repro.observability import MetricsRecorder, as_recorder
-from repro.utils import check_positive, resolve_rng
+from repro.utils import check_finite, check_positive, resolve_rng
 
 __all__ = ["PSVWaveTrace", "PSVExecutionTrace", "psv_icd_reconstruct", "PSVICDResult"]
 
@@ -114,6 +114,11 @@ def psv_icd_reconstruct(
     backend: str = "inline",
     n_workers: int | None = None,
     wave_timeout: float | None = None,
+    fault_injection: tuple | None = None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume_from=None,
+    sentinel=None,
 ) -> PSVICDResult:
     """Reconstruct with the PSV-ICD algorithm (Alg. 2).
 
@@ -154,10 +159,20 @@ def psv_icd_reconstruct(
     wave_timeout:
         Optional per-wave wall-clock budget in seconds for the pool
         backends; overrunning SVs are recomputed inline (same iterates).
+    fault_injection:
+        Test-only :meth:`repro.resilience.FaultInjector.worker_fault` spec
+        forwarded to the pool backends (crash/stall workers on chosen SVs).
+    checkpoint, checkpoint_every, resume_from, sentinel:
+        Resilience layer (disabled by default) — identical semantics to
+        :func:`repro.core.icd.icd_reconstruct`; checkpoints additionally
+        persist the :class:`SVSelector` update-amount state so the
+        selection schedule resumes bit-identically.
     """
     check_positive("n_cores", n_cores)
     prior = prior if prior is not None else default_prior()
     rec = as_recorder(metrics)
+    check_finite("scan.sinogram", scan.sinogram)
+    check_finite("scan.weights", scan.weights)
     geometry = system.geometry
     if neighborhood is None:
         neighborhood = shared_neighborhood(geometry.n_pixels)
@@ -185,16 +200,30 @@ def psv_icd_reconstruct(
             positivity=positivity,
             n_workers=n_workers,
             wave_timeout=wave_timeout,
+            fault_injection=fault_injection,
         )
+    elif fault_injection is not None:
+        raise ValueError("fault_injection requires a pool backend ('thread'/'process')")
 
-    x = initial_image(scan, init=init).ravel().copy()
-    e = updater.initial_error(x)
-
-    history = RunHistory()
-    trace = PSVExecutionTrace(n_cores=n_cores, sv_side=sv_side)
     n_voxels = geometry.n_voxels
-    total_updates = 0
-    iteration = 0
+    hooks = resilience_hooks(
+        "psv_icd", checkpoint, checkpoint_every, resume_from, sentinel, metrics
+    )
+    ckpt = hooks.resume_state() if hooks is not None else None
+    if ckpt is not None:
+        hooks.validate_shapes(ckpt, n_voxels=n_voxels, n_measurements=scan.n_measurements)
+        x, e, rng, history, iteration, total_updates = hooks.apply_resume(
+            ckpt, rng=rng, selector=selector
+        )
+    else:
+        x = initial_image(scan, init=init).ravel().copy()
+        check_finite(f"initial image (init={init!r})", x)
+        e = updater.initial_error(x)
+        history = RunHistory()
+        total_updates = 0
+        iteration = 0
+
+    trace = PSVExecutionTrace(n_cores=n_cores, sv_side=sv_side)
     try:
         while total_updates < max_equits * n_voxels:
             iteration += 1
@@ -276,6 +305,20 @@ def psv_icd_reconstruct(
                     svs_updated=int(selected.size),
                 )
             )
+            if hooks is not None:
+                rolled = hooks.after_iteration(
+                    iteration=iteration,
+                    total_updates=total_updates,
+                    x=x,
+                    e=e,
+                    rng=rng,
+                    history=history,
+                    updater=updater,
+                    selector=selector,
+                )
+                if rolled is not None:  # corruption detected: replay from checkpoint
+                    iteration, total_updates = rolled
+                    continue
             if iter_updates == 0 and iteration > 1:
                 break
             if stop_rmse is not None and rmse is not None and rmse < stop_rmse:

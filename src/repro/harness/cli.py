@@ -6,6 +6,7 @@
     python -m repro all
     python -m repro tune [--zero-skip 0.4]
     python -m repro profile [--driver all] [--equits 2] --metrics-json out.json
+    python -m repro profile --checkpoint-dir ckpts [--checkpoint-every K] [--resume]
 
 Each experiment prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured record).  ``profile`` runs
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -81,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="pool size for --backend thread/process "
                         "(default: driver-chosen)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="persist resumable 'profile' run state under "
+                        "DIR/<driver> (see repro.resilience)")
+    parser.add_argument("--checkpoint-every", type=int, default=1, metavar="K",
+                        help="checkpoint cadence in iterations (default 1)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume each 'profile' driver from its latest "
+                        "checkpoint under --checkpoint-dir (bit-identical "
+                        "to an uninterrupted run)")
     return parser
 
 
@@ -135,17 +146,37 @@ def _run_profile(args) -> None:
     # applies to the PSV/GPU drivers.
     wave = dict(backend=args.backend, n_workers=args.workers)
 
+    def resilience(driver_name: str) -> dict:
+        """Per-driver checkpoint/resume kwargs (empty when not requested)."""
+        if args.checkpoint_dir is None:
+            if args.resume:
+                raise SystemExit("--resume requires --checkpoint-dir")
+            return {}
+        from repro.resilience import CheckpointManager
+
+        manager = CheckpointManager(
+            os.path.join(args.checkpoint_dir, driver_name)
+        )
+        out = dict(checkpoint=manager, checkpoint_every=args.checkpoint_every)
+        if args.resume:
+            out["resume_from"] = "latest"
+        return out
+
     drivers = {}
     if args.driver in ("icd", "all"):
-        drivers["icd"] = lambda rec: icd_reconstruct(scan, system, metrics=rec, **common)
+        drivers["icd"] = lambda rec: icd_reconstruct(
+            scan, system, metrics=rec, **common, **resilience("icd")
+        )
     if args.driver in ("psv", "all"):
         drivers["psv_icd"] = lambda rec: psv_icd_reconstruct(
-            scan, system, sv_side=min(13, n), metrics=rec, **common, **wave
+            scan, system, sv_side=min(13, n), metrics=rec, **common, **wave,
+            **resilience("psv_icd")
         )
     gpu_params = GPUICDParams(sv_side=min(33, n))
     if args.driver in ("gpu", "all"):
         drivers["gpu_icd"] = lambda rec: gpu_icd_reconstruct(
-            scan, system, params=gpu_params, metrics=rec, **common, **wave
+            scan, system, params=gpu_params, metrics=rec, **common, **wave,
+            **resilience("gpu_icd")
         )
 
     report = {

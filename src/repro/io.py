@@ -4,11 +4,22 @@ Plain ``.npz`` containers with a small schema (format tag + version), so
 scans synthesised once (e.g. a large benchmark ensemble) can be reused
 across sessions and reconstructions can be archived next to their
 convergence histories.
+
+Crash-safety contract (DESIGN.md §11): every writer in this module goes
+through :func:`_atomic_savez` — the payload is fully written and fsynced to
+a same-directory temp file, then moved over the destination with
+``os.replace``.  A process killed mid-save therefore leaves either the old
+file or the new one, never a torn half-write.  Every reader raises the
+typed :class:`CorruptFileError` (a ``ValueError`` subclass) naming the
+missing or unreadable key instead of surfacing raw ``KeyError`` /
+``EOFError`` / ``BadZipFile`` from the npz internals.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -17,10 +28,76 @@ from repro.core.convergence import IterationRecord, RunHistory
 from repro.ct.geometry import ParallelBeamGeometry
 from repro.ct.sinogram import ScanData
 
-__all__ = ["save_scan", "load_scan", "save_reconstruction", "load_reconstruction"]
+__all__ = [
+    "CorruptFileError",
+    "save_scan",
+    "load_scan",
+    "save_reconstruction",
+    "load_reconstruction",
+]
 
 _SCAN_FORMAT = "repro-scan-v1"
 _RECON_FORMAT = "repro-recon-v1"
+
+
+class CorruptFileError(ValueError):
+    """A persisted file is unreadable, truncated, or missing a required key.
+
+    Subclasses ``ValueError`` so callers that guarded the old format-tag
+    check (which raised ``ValueError``) keep working unchanged.
+    """
+
+
+def _atomic_savez(path: str | Path, payload: dict) -> Path:
+    """Write an npz atomically: temp file in the same directory + ``os.replace``.
+
+    Mirrors ``np.savez_compressed``'s suffix behavior (a ``.npz`` extension
+    is appended when missing) and returns the final path.  The temp file is
+    flushed and fsynced before the rename so a crash at any point leaves
+    either the previous file or the complete new one on disk.
+    """
+    final = Path(path)
+    if final.suffix != ".npz":
+        final = final.with_name(final.name + ".npz")
+    tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return final
+
+
+def _open_npz(path: Path, kind: str):
+    """``np.load`` with unreadable/truncated files mapped to :class:`CorruptFileError`."""
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError, ValueError, zipfile.BadZipFile) as exc:
+        raise CorruptFileError(f"{path}: unreadable {kind} file ({exc})") from exc
+
+
+def _read_key(data, key: str, path: Path):
+    """Read one npz entry, naming ``key`` in any corruption error."""
+    try:
+        return data[key]
+    except KeyError:
+        raise CorruptFileError(f"{path}: missing required key {key!r}") from None
+    except Exception as exc:  # zlib/zip errors surface lazily at read time
+        raise CorruptFileError(f"{path}: key {key!r} is unreadable ({exc})") from exc
+
+
+def _read_json_key(data, key: str, path: Path) -> dict:
+    raw = _read_key(data, key, path)
+    try:
+        return json.loads(str(raw))
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise CorruptFileError(f"{path}: key {key!r} holds invalid JSON ({exc})") from exc
 
 
 def _geometry_meta(geometry: ParallelBeamGeometry) -> dict:
@@ -33,19 +110,24 @@ def _geometry_meta(geometry: ParallelBeamGeometry) -> dict:
     }
 
 
-def _geometry_from_meta(meta: dict) -> ParallelBeamGeometry:
-    return ParallelBeamGeometry(
-        n_pixels=int(meta["n_pixels"]),
-        n_views=int(meta["n_views"]),
-        n_channels=int(meta["n_channels"]),
-        pixel_size=float(meta["pixel_size"]),
-        channel_spacing=float(meta["channel_spacing"]),
-    )
+def _geometry_from_meta(meta: dict, path: Path) -> ParallelBeamGeometry:
+    try:
+        return ParallelBeamGeometry(
+            n_pixels=int(meta["n_pixels"]),
+            n_views=int(meta["n_views"]),
+            n_channels=int(meta["n_channels"]),
+            pixel_size=float(meta["pixel_size"]),
+            channel_spacing=float(meta["channel_spacing"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptFileError(f"{path}: key 'geometry' is invalid ({exc})") from exc
 
 
 def save_scan(path: str | Path, scan: ScanData) -> None:
-    """Write a scan (sinogram, weights, geometry, optional truth) to ``path``."""
-    path = Path(path)
+    """Write a scan (sinogram, weights, geometry, optional truth) to ``path``.
+
+    The write is atomic: a crash mid-save cannot leave a torn file.
+    """
     payload = {
         "format": np.array(_SCAN_FORMAT),
         "geometry": np.array(json.dumps(_geometry_meta(scan.geometry))),
@@ -54,22 +136,33 @@ def save_scan(path: str | Path, scan: ScanData) -> None:
     }
     if scan.ground_truth is not None:
         payload["ground_truth"] = scan.ground_truth
-    np.savez_compressed(path, **payload)
+    _atomic_savez(path, payload)
 
 
 def load_scan(path: str | Path) -> ScanData:
-    """Read a scan written by :func:`save_scan`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        fmt = str(data["format"])
+    """Read a scan written by :func:`save_scan`.
+
+    Raises :class:`CorruptFileError` (naming the offending key) for
+    truncated, unreadable, or schema-incomplete files.
+    """
+    path = Path(path)
+    with _open_npz(path, "scan") as data:
+        fmt = str(_read_key(data, "format", path))
         if fmt != _SCAN_FORMAT:
-            raise ValueError(f"{path}: not a repro scan file (format={fmt!r})")
-        geometry = _geometry_from_meta(json.loads(str(data["geometry"])))
-        ground_truth = data["ground_truth"] if "ground_truth" in data else None
+            raise CorruptFileError(f"{path}: not a repro scan file (format={fmt!r})")
+        geometry = _geometry_from_meta(_read_json_key(data, "geometry", path), path)
+        sinogram = np.asarray(_read_key(data, "sinogram", path), dtype=np.float64)
+        weights = np.asarray(_read_key(data, "weights", path), dtype=np.float64)
+        ground_truth = (
+            np.asarray(_read_key(data, "ground_truth", path))
+            if "ground_truth" in data
+            else None
+        )
         return ScanData(
             geometry=geometry,
-            sinogram=np.asarray(data["sinogram"], dtype=np.float64),
-            weights=np.asarray(data["weights"], dtype=np.float64),
-            ground_truth=None if ground_truth is None else np.asarray(ground_truth),
+            sinogram=sinogram,
+            weights=weights,
+            ground_truth=ground_truth,
         )
 
 
@@ -80,8 +173,10 @@ def save_reconstruction(
     *,
     metadata: dict | None = None,
 ) -> None:
-    """Write a reconstructed image plus its convergence history."""
-    path = Path(path)
+    """Write a reconstructed image plus its convergence history.
+
+    The write is atomic: a crash mid-save cannot leave a torn file.
+    """
     payload: dict = {
         "format": np.array(_RECON_FORMAT),
         "image": np.asarray(image),
@@ -107,43 +202,60 @@ def save_reconstruction(
         payload["converged_threshold_hu"] = np.array(
             np.nan if history.converged_threshold_hu is None else history.converged_threshold_hu
         )
-    np.savez_compressed(path, **payload)
+    _atomic_savez(path, payload)
 
 
 def load_reconstruction(path: str | Path) -> tuple[np.ndarray, RunHistory | None, dict]:
-    """Read ``(image, history, metadata)`` written by :func:`save_reconstruction`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        fmt = str(data["format"])
+    """Read ``(image, history, metadata)`` written by :func:`save_reconstruction`.
+
+    Raises :class:`CorruptFileError` (naming the offending key) for
+    truncated, unreadable, or schema-incomplete files.
+    """
+    path = Path(path)
+    with _open_npz(path, "reconstruction") as data:
+        fmt = str(_read_key(data, "format", path))
         if fmt != _RECON_FORMAT:
-            raise ValueError(f"{path}: not a repro reconstruction file (format={fmt!r})")
-        image = np.asarray(data["image"])
-        metadata = json.loads(str(data["metadata"]))
+            raise CorruptFileError(
+                f"{path}: not a repro reconstruction file (format={fmt!r})"
+            )
+        image = np.asarray(_read_key(data, "image", path))
+        metadata = _read_json_key(data, "metadata", path)
         history = None
         if "hist_iteration" in data:
             history = RunHistory()
-            rmses = data["hist_rmse"]
-            for i in range(data["hist_iteration"].size):
+            iterations = _read_key(data, "hist_iteration", path)
+            equits = _read_key(data, "hist_equits", path)
+            costs = _read_key(data, "hist_cost", path)
+            rmses = _read_key(data, "hist_rmse", path)
+            updates = _read_key(data, "hist_updates", path)
+            svs = _read_key(data, "hist_svs", path)
+            lengths = {a.size for a in (iterations, equits, costs, rmses, updates, svs)}
+            if len(lengths) != 1:
+                raise CorruptFileError(
+                    f"{path}: history arrays have mismatched lengths {sorted(lengths)}"
+                )
+            for i in range(iterations.size):
                 history.append(
                     IterationRecord(
-                        iteration=int(data["hist_iteration"][i]),
-                        equits=float(data["hist_equits"][i]),
-                        cost=float(data["hist_cost"][i]),
+                        iteration=int(iterations[i]),
+                        equits=float(equits[i]),
+                        cost=float(costs[i]),
                         rmse=None if np.isnan(rmses[i]) else float(rmses[i]),
-                        updates=int(data["hist_updates"][i]),
-                        svs_updated=int(data["hist_svs"][i]),
+                        updates=int(updates[i]),
+                        svs_updated=int(svs[i]),
                     )
                 )
-            ce = float(data["converged_equits"])
+            ce = float(_read_key(data, "converged_equits", path))
             if not np.isnan(ce):
                 history.converged_equits = ce
             # Files written before these fields existed simply lack the keys
             # (the v1 format tag is unchanged); leave the attributes None.
             if "converged_iteration" in data:
-                ci = float(data["converged_iteration"])
+                ci = float(_read_key(data, "converged_iteration", path))
                 if not np.isnan(ci):
                     history.converged_iteration = int(ci)
             if "converged_threshold_hu" in data:
-                ct = float(data["converged_threshold_hu"])
+                ct = float(_read_key(data, "converged_threshold_hu", path))
                 if not np.isnan(ct):
                     history.converged_threshold_hu = ct
         return image, history, metadata

@@ -30,7 +30,14 @@ Instrumentation sites (see DESIGN.md §9):
   wave counters per kernel flavor (``kernel.<flavor>.updates`` ...);
 * :meth:`repro.gpusim.timing.GPUTimingModel.measured_vs_modeled` joins the
   measured phase spans against the calibrated hardware model's per-phase
-  predictions in one report.
+  predictions in one report;
+* the resilience layer (:mod:`repro.resilience`) records
+  ``checkpoint.{saves,resumes}``, ``sentinel.{checks,drift_checks,
+  refreshes}`` and ``resilience.rollbacks`` counters plus
+  ``checkpoint_save`` / ``drift_check`` / ``drift_refresh`` / ``rollback``
+  spans; on resume the counters persisted in the checkpoint are merged
+  back via :meth:`MetricsRecorder.merge_counters`, so a killed-and-resumed
+  run reports whole-run totals.
 
 The recorder never touches the numerics — it only reads the clock — so
 instrumented and uninstrumented runs produce bit-identical iterates (the
@@ -132,6 +139,9 @@ class NullRecorder:
     def count(self, name: str, n: int | float = 1) -> None:
         """Ignore the counter increment."""
 
+    def merge_counters(self, counters: dict[str, float]) -> None:
+        """Ignore the merge (no counters are kept)."""
+
     def span_totals(self) -> dict[str, dict[str, float]]:
         """No spans were recorded."""
         return {}
@@ -196,6 +206,16 @@ class MetricsRecorder:
     def count(self, name: str, n: int | float = 1) -> None:
         """Add ``n`` to the named counter (created at 0)."""
         self.counters[name] = self.counters.get(name, 0) + n
+
+    def merge_counters(self, counters: dict[str, float]) -> None:
+        """Add a saved counter snapshot into this recorder.
+
+        Used when resuming from a checkpoint: the counters persisted at
+        save time are folded in so the resumed run's report carries
+        whole-run totals rather than only the post-resume segment.
+        """
+        for name, n in counters.items():
+            self.count(name, n)
 
     # -- aggregation ----------------------------------------------------
     def _walk(self):

@@ -6,6 +6,7 @@ from repro.utils.validation import (
     check_in_range,
     check_shape,
     check_probability,
+    check_finite,
 )
 
 __all__ = [
@@ -15,4 +16,5 @@ __all__ = [
     "check_in_range",
     "check_shape",
     "check_probability",
+    "check_finite",
 ]

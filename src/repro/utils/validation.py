@@ -11,7 +11,13 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["check_positive", "check_in_range", "check_shape", "check_probability"]
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_shape",
+    "check_probability",
+    "check_finite",
+]
 
 
 def check_positive(name: str, value: float | int, *, strict: bool = True) -> None:
@@ -46,3 +52,23 @@ def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> None:
 def check_probability(name: str, value: float) -> None:
     """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
     check_in_range(name, value, 0.0, 1.0)
+
+
+def check_finite(name: str, array: np.ndarray) -> None:
+    """Raise ``ValueError`` unless every element of ``array`` is finite.
+
+    A single NaN entering an ICD run poisons the incrementally maintained
+    error sinogram and every subsequent theta1/theta2, so non-finite inputs
+    must be rejected at the driver boundary.  The error names the array and
+    the first offending flat index so the bad measurement can be found.
+    """
+    arr = np.asarray(array)
+    if not np.issubdtype(arr.dtype, np.number):
+        raise ValueError(f"{name} must be numeric, got dtype {arr.dtype}")
+    finite = np.isfinite(arr)
+    if not finite.all():
+        bad = int(np.flatnonzero(~finite.ravel())[0])
+        value = arr.ravel()[bad]
+        raise ValueError(
+            f"{name} contains non-finite values (first at flat index {bad}: {value!r})"
+        )

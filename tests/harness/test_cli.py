@@ -92,3 +92,40 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "icd:" in out
         assert "psv_icd" not in out
+
+
+class TestProfileResilienceFlags:
+    def test_parser_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args([
+            "profile", "--checkpoint-dir", "ck", "--checkpoint-every", "2",
+            "--resume",
+        ])
+        assert args.checkpoint_dir == "ck"
+        assert args.checkpoint_every == 2
+        assert args.resume is True
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["profile", "--pixels", "16", "--equits", "1",
+                  "--driver", "icd", "--resume"])
+
+    def test_checkpoint_dir_writes_per_driver_subdirs(self, tmp_path, capsys):
+        assert main([
+            "profile", "--pixels", "16", "--equits", "1", "--driver", "icd",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]) == 0
+        files = list((tmp_path / "ck" / "icd").glob("ckpt-*.ckpt"))
+        assert files
+        out = capsys.readouterr().out
+        assert "checkpoint.saves" in out
+
+    def test_resume_picks_up_latest(self, tmp_path, capsys):
+        common = ["profile", "--pixels", "16", "--equits", "2",
+                  "--driver", "icd", "--checkpoint-dir", str(tmp_path / "ck")]
+        assert main(common) == 0
+        capsys.readouterr()
+        assert main(common + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "icd:" in out

@@ -145,3 +145,74 @@ class TestReconstructionRoundtrip:
         np.savez(p, format=np.array("repro-scan-v1"), image=np.zeros((2, 2)))
         with pytest.raises(ValueError, match="not a repro reconstruction"):
             load_reconstruction(p)
+
+
+class TestCorruptionHardening:
+    """The typed CorruptFileError paths added by the resilience PR."""
+
+    def test_corrupt_error_is_value_error(self):
+        from repro.io import CorruptFileError
+
+        assert issubclass(CorruptFileError, ValueError)
+
+    def test_truncated_scan_names_file(self, scan32, tmp_path):
+        from repro.io import CorruptFileError
+
+        p = tmp_path / "scan.npz"
+        save_scan(p, scan32)
+        p.write_bytes(p.read_bytes()[:100])
+        with pytest.raises(CorruptFileError, match="unreadable scan file"):
+            load_scan(p)
+
+    def test_missing_key_named(self, scan32, tmp_path):
+        from repro.io import CorruptFileError
+
+        p = tmp_path / "scan.npz"
+        save_scan(p, scan32)
+        with np.load(p, allow_pickle=False) as data:
+            kept = {k: data[k] for k in data.files if k != "weights"}
+        np.savez(p, **kept)
+        with pytest.raises(CorruptFileError, match="missing required key 'weights'"):
+            load_scan(p)
+
+    def test_invalid_geometry_json_named(self, scan32, tmp_path):
+        from repro.io import CorruptFileError
+
+        p = tmp_path / "scan.npz"
+        save_scan(p, scan32)
+        with np.load(p, allow_pickle=False) as data:
+            kept = {k: data[k] for k in data.files}
+        kept["geometry"] = np.array("{not json")
+        np.savez(p, **kept)
+        with pytest.raises(CorruptFileError, match="'geometry'"):
+            load_scan(p)
+
+    def test_history_length_mismatch_named(self, tmp_path):
+        from repro.core.convergence import IterationRecord, RunHistory
+        from repro.io import CorruptFileError
+
+        h = RunHistory()
+        h.append(IterationRecord(1, 1.0, 2.0, None, 10, 1))
+        p = tmp_path / "recon.npz"
+        save_reconstruction(p, np.zeros((2, 2)), h)
+        with np.load(p, allow_pickle=False) as data:
+            kept = {k: data[k] for k in data.files}
+        kept["hist_equits"] = np.array([1.0, 2.0])  # one record, two equits
+        np.savez(p, **kept)
+        with pytest.raises(CorruptFileError, match="mismatched lengths"):
+            load_reconstruction(p)
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_scan(tmp_path / "nope.npz")
+
+    def test_atomic_write_leaves_single_file(self, scan32, tmp_path):
+        p = tmp_path / "scan.npz"
+        save_scan(p, scan32)
+        save_scan(p, scan32)  # overwrite goes through the same tmp+replace
+        assert [f.name for f in tmp_path.iterdir()] == ["scan.npz"]
+
+    def test_save_scan_appends_npz_suffix(self, scan32, tmp_path):
+        save_scan(tmp_path / "scan", scan32)
+        assert (tmp_path / "scan.npz").exists()
+        load_scan(tmp_path / "scan.npz")

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.utils import (
+    check_finite,
     check_in_range,
     check_positive,
     check_probability,
@@ -81,3 +82,23 @@ class TestValidation:
         check_probability("p", 1.0)
         with pytest.raises(ValueError):
             check_probability("p", 1.01)
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        check_finite("x", np.arange(6.0).reshape(2, 3))
+        check_finite("x", np.zeros(0))
+
+    def test_rejects_nan_with_location(self):
+        arr = np.ones((2, 3))
+        arr[1, 2] = np.nan
+        with pytest.raises(ValueError, match=r"sino.*non-finite.*flat index 5"):
+            check_finite("sino", arr)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="weights"):
+            check_finite("weights", np.array([1.0, -np.inf]))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValueError, match="numeric"):
+            check_finite("labels", np.array(["a", "b"]))
