@@ -1,0 +1,164 @@
+"""Service benchmark — job throughput and end-to-end latency percentiles.
+
+Measures the reconstruction service as a queueing system rather than the
+kernels underneath it (those have ``bench_kernels.py``):
+
+* **throughput** — jobs/sec through a drained batch of ``N_JOBS``
+  mixed-priority ICD jobs at 16^2, for 1 and 2 workers.  The jobs are
+  compute-bound and the GIL keeps NumPy-light work serialised, so 2-worker
+  scaling is modest; the interesting number is the service overhead.
+* **latency percentiles** — per-job submit→terminal wall time, p50/p90/p99
+  over the batch.  With one worker the tail is dominated by queue wait
+  (last job waits for every predecessor), which is exactly what a
+  latency-vs-depth profile should show.
+* **dedup speedup** — the same batch resubmitted against the warm result
+  cache; every job is served from content-addressed storage, so the
+  drain-time ratio is the cache's recomputation saving.
+* **overhead floor** — a cache-hit-only drain divided by job count: the
+  per-job cost of queue + scheduler + status machinery with no numerics
+  at all.
+
+Emit mode: set ``REPRO_BENCH_JSON=path.json`` to write the machine-readable
+report (CI uploads it as the ``BENCH_5.json`` perf-trajectory artifact; the
+checked-in ``BENCH_5.json`` was produced this way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+from conftest import report
+
+from repro.ct import build_system_matrix, scaled_geometry, shepp_logan, simulate_scan
+from repro.service import JobSpec, ReconstructionService
+from repro.service.runner import clear_system_cache
+
+#: Jobs per drained batch.
+N_JOBS = 12
+#: Image side for the benchmark scans (service overhead, not kernel speed).
+PIXELS = 16
+#: Worker counts to profile.
+WORKER_COUNTS = (1, 2)
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    arr = np.asarray(samples, dtype=np.float64)
+    return {
+        "p50_s": round(float(np.percentile(arr, 50)), 4),
+        "p90_s": round(float(np.percentile(arr, 90)), 4),
+        "p99_s": round(float(np.percentile(arr, 99)), 4),
+        "mean_s": round(float(arr.mean()), 4),
+    }
+
+
+def _specs(scan, *, unique: bool):
+    """A mixed-priority batch; ``unique=False`` makes every job identical."""
+    return [
+        JobSpec(
+            driver="icd",
+            scan=scan,
+            params={
+                "max_equits": 2.0,
+                "seed": (i if unique else 0),
+                "track_cost": False,
+            },
+            priority=i % 3,
+        )
+        for i in range(N_JOBS)
+    ]
+
+
+def _drain_batch(scan, *, n_workers: int, unique: bool, cache_dir=None):
+    """Submit a batch, drain it, return (elapsed_s, per-job latencies)."""
+    svc = ReconstructionService(n_workers=n_workers, cache_dir=cache_dir, start=False)
+    try:
+        ids = [svc.submit(spec) for spec in _specs(scan, unique=unique)]
+        t0 = time.perf_counter()
+        svc.start()
+        assert svc.drain(timeout=600)
+        elapsed = time.perf_counter() - t0
+        latencies = []
+        for job_id in ids:
+            status = svc.status(job_id)
+            assert status["state"] == "DONE", status
+            latencies.append(status["finished_at"] - status["submitted_at"])
+        deduped = svc.report()["counters"].get("service.jobs_deduped", 0)
+        return elapsed, latencies, deduped
+    finally:
+        svc.close()
+
+
+def bench_service(tmp_path):
+    system = build_system_matrix(scaled_geometry(PIXELS))
+    scan = simulate_scan(shepp_logan(PIXELS), system, seed=0)
+    clear_system_cache()
+
+    lines = [f"{N_JOBS} ICD jobs at {PIXELS}^2, 2 equits each", ""]
+    lines.append(f"{'workers':>8} {'jobs/s':>8} {'p50':>8} {'p90':>8} {'p99':>8}")
+    by_workers: dict[str, dict] = {}
+    for n_workers in WORKER_COUNTS:
+        elapsed, latencies, _ = _drain_batch(scan, n_workers=n_workers, unique=True)
+        pct = _percentiles(latencies)
+        by_workers[str(n_workers)] = {
+            "throughput_jobs_per_s": round(N_JOBS / elapsed, 3),
+            "drain_s": round(elapsed, 3),
+            "latency": pct,
+        }
+        lines.append(
+            f"{n_workers:>8} {N_JOBS / elapsed:>8.2f} {pct['p50_s']:>8.3f} "
+            f"{pct['p90_s']:>8.3f} {pct['p99_s']:>8.3f}"
+        )
+
+    # Dedup: identical batch, cold cache then warm cache (persistent dir so
+    # the second service life starts with nothing in memory).
+    cache_dir = tmp_path / "cache"
+    cold_s, _, cold_dedup = _drain_batch(
+        scan, n_workers=1, unique=False, cache_dir=cache_dir
+    )
+    warm_s, warm_lat, warm_dedup = _drain_batch(
+        scan, n_workers=1, unique=False, cache_dir=cache_dir
+    )
+    assert warm_dedup == N_JOBS, f"warm batch recomputed: {warm_dedup}/{N_JOBS} deduped"
+    dedup = {
+        "cold_drain_s": round(cold_s, 3),
+        "warm_drain_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 1),
+        "cold_batch_deduped": int(cold_dedup),
+        "overhead_per_cached_job_ms": round(1e3 * warm_s / N_JOBS, 2),
+    }
+    lines.append("")
+    lines.append(
+        f"dedup: cold {cold_s:.2f}s -> warm {warm_s:.3f}s "
+        f"({dedup['speedup']}x; {dedup['overhead_per_cached_job_ms']} ms/cached job)"
+    )
+    report("SERVICE — job throughput and latency", "\n".join(lines))
+
+    emit_path = os.environ.get("REPRO_BENCH_JSON")
+    if emit_path:
+        doc = {
+            "bench": "service",
+            "pixels": PIXELS,
+            "n_jobs": N_JOBS,
+            "python": platform.python_version(),
+            "workers": by_workers,
+            "dedup": dedup,
+        }
+        with open(emit_path, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    # Guards: the warm (all-cached) drain must beat the cold one soundly,
+    # and service overhead per cached job must stay small.
+    assert cold_s / warm_s >= 3.0, (
+        f"result cache no longer pays: warm drain {warm_s:.3f}s vs cold "
+        f"{cold_s:.3f}s ({cold_s / warm_s:.1f}x < 3x)"
+    )
+    return by_workers
+
+
+def test_service(benchmark, tmp_path):
+    benchmark.pedantic(bench_service, args=(tmp_path,), rounds=1, iterations=1)

@@ -30,6 +30,11 @@ Subpackages
     Checkpoint/resume with bit-identical replay, the numerical-integrity
     sentinel (NaN/Inf guards + error-sinogram drift repair), and the
     fault-injection test harness.
+``repro.service``
+    Multi-job reconstruction service: priority queue with admission
+    control, concurrent workers with per-job checkpoint/resume, a
+    content-addressed result cache, and the ``python -m repro serve``
+    directory intake.
 
 Quickstart
 ----------
@@ -92,6 +97,7 @@ from repro.resilience import (
     IntegritySentinel,
     StateCorruptionError,
 )
+from repro.service import JobSpec, JobState, ReconstructionService
 
 __version__ = "1.0.0"
 
@@ -144,4 +150,8 @@ __all__ = [
     "IntegritySentinel",
     "FaultInjector",
     "StateCorruptionError",
+    # service
+    "JobSpec",
+    "JobState",
+    "ReconstructionService",
 ]

@@ -8,6 +8,7 @@ from repro.core.backends import (
     SVWaveTask,
     ThreadBackend,
     make_backend,
+    make_wave_tasks,
     run_wave,
     wave_task_seed,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "make_backend",
+    "make_wave_tasks",
     "run_wave",
     "wave_task_seed",
     "HAVE_NUMBA",

@@ -88,6 +88,7 @@ __all__ = [
     "BACKENDS",
     "make_backend",
     "wave_task_seed",
+    "make_wave_tasks",
     "run_wave",
 ]
 
@@ -107,6 +108,33 @@ def wave_task_seed(base_seed: int, sv_index: int) -> np.random.SeedSequence:
     is composed.
     """
     return np.random.SeedSequence(entropy=int(base_seed), spawn_key=(int(sv_index),))
+
+
+def make_wave_tasks(
+    base_seed: int,
+    sv_indices,
+    *,
+    zero_skip: bool = True,
+    stale_width: int = 1,
+    kernel: str = "python",
+) -> "list[SVWaveTask]":
+    """Build one wave's tasks with :func:`wave_task_seed`-derived streams.
+
+    The single place a wave turns ``(base_seed, sv_indices)`` into seeded
+    :class:`SVWaveTask` objects — the drivers, :func:`run_wave`, and the
+    tests all derive per-SV streams through here, so the seeding scheme
+    cannot drift between call sites.
+    """
+    return [
+        SVWaveTask(
+            sv_index=int(s),
+            seed=wave_task_seed(base_seed, int(s)),
+            zero_skip=zero_skip,
+            stale_width=stale_width,
+            kernel=kernel,
+        )
+        for s in sv_indices
+    ]
 
 
 @dataclass(frozen=True)
@@ -739,14 +767,7 @@ def run_wave(
     metrics=None,
 ) -> list[SVUpdateStats]:
     """Convenience wrapper: build tasks (stable per-SV seeds) and run them."""
-    tasks = [
-        SVWaveTask(
-            sv_index=int(s),
-            seed=wave_task_seed(base_seed, int(s)),
-            zero_skip=zero_skip,
-            stale_width=stale_width,
-            kernel=kernel,
-        )
-        for s in sv_indices
-    ]
+    tasks = make_wave_tasks(
+        base_seed, sv_indices, zero_skip=zero_skip, stale_width=stale_width, kernel=kernel
+    )
     return backend.run_wave(tasks, x, e, metrics=metrics)

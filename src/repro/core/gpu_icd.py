@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.backends import BACKENDS, SVWaveTask, make_backend, wave_task_seed
+from repro.core.backends import BACKENDS, make_backend, make_wave_tasks
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
 from repro.core.icd import ICDResult, default_prior, initial_image, resilience_hooks
@@ -283,16 +283,13 @@ def gpu_icd_reconstruct(
                                 # draw per batch keeps every backend's stream
                                 # consumption identical.
                                 batch_seed = int(rng.integers(0, 2**63 - 1))
-                                tasks = [
-                                    SVWaveTask(
-                                        sv_index=int(sv_id),
-                                        seed=wave_task_seed(batch_seed, int(sv_id)),
-                                        zero_skip=zero_skip and iteration > 1,
-                                        stale_width=params.threadblocks_per_sv,
-                                        kernel=kernel,
-                                    )
-                                    for sv_id in batch
-                                ]
+                                tasks = make_wave_tasks(
+                                    batch_seed,
+                                    batch,
+                                    zero_skip=zero_skip and iteration > 1,
+                                    stale_width=params.threadblocks_per_sv,
+                                    kernel=kernel,
+                                )
                                 batch_stats = exec_backend.run_wave(tasks, x, e, metrics=rec)
                                 for stats in batch_stats:
                                     selector.record_update(stats.sv_index, stats.total_abs_delta)

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.backends import BACKENDS, SVWaveTask, make_backend, wave_task_seed
+from repro.core.backends import BACKENDS, make_backend, make_wave_tasks
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
 from repro.core.icd import ICDResult, default_prior, initial_image, resilience_hooks
@@ -238,16 +238,13 @@ def psv_icd_reconstruct(
                             # every backend → cross-backend bit-identity);
                             # per-SV streams derive from it collision-free.
                             wave_seed = int(rng.integers(0, 2**63 - 1))
-                            tasks = [
-                                SVWaveTask(
-                                    sv_index=int(sv_id),
-                                    seed=wave_task_seed(wave_seed, int(sv_id)),
-                                    zero_skip=zero_skip and iteration > 1,
-                                    stale_width=1,
-                                    kernel=kernel,
-                                )
-                                for sv_id in wave_svs
-                            ]
+                            tasks = make_wave_tasks(
+                                wave_seed,
+                                wave_svs,
+                                zero_skip=zero_skip and iteration > 1,
+                                stale_width=1,
+                                kernel=kernel,
+                            )
                             wave_stats = exec_backend.run_wave(tasks, x, e, metrics=rec)
                             for stats in wave_stats:
                                 selector.record_update(stats.sv_index, stats.total_abs_delta)

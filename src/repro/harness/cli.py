@@ -1,17 +1,27 @@
-"""Command-line interface to the experiment harness.
+"""Command-line interface to the experiment harness and the job service.
 
+    python -m repro --version
     python -m repro table1 [--pixels 64] [--cases 3]
     python -m repro fig5 | fig6 | fig7a | fig7b | fig7c | fig7d
     python -m repro table2 | table3
-    python -m repro all
+    python -m repro all | suite
     python -m repro tune [--zero-skip 0.4]
     python -m repro profile [--driver all] [--equits 2] --metrics-json out.json
     python -m repro profile --checkpoint-dir ckpts [--checkpoint-every K] [--resume]
+    python -m repro serve QUEUE_DIR [--workers 2] [--drain]
+    python -m repro submit QUEUE_DIR --driver icd --scan scan.npz [--priority 5]
+    python -m repro status QUEUE_DIR JOB_ID
+    python -m repro cancel QUEUE_DIR JOB_ID
 
 Each experiment prints the same rows/series the paper reports (see
-EXPERIMENTS.md for the paper-vs-measured record).  ``profile`` runs
-instrumented reconstructions (see :mod:`repro.observability`) and writes
-the machine-readable span/counter report.
+EXPERIMENTS.md for the paper-vs-measured record); ``profile`` runs
+instrumented reconstructions (see :mod:`repro.observability`); the
+``serve`` / ``submit`` / ``status`` / ``cancel`` family speaks the queue
+directory protocol of :mod:`repro.service.intake`.
+
+Exit codes are distinct by failure class: 0 success, 1 runtime failure
+(an experiment or job blew up), 2 usage error (bad arguments —
+argparse rejections and semantic flag conflicts alike).
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ import os
 import sys
 import time
 
+import repro
 from repro.harness.experiments import (
     ExperimentContext,
     run_fig5,
@@ -35,7 +46,23 @@ from repro.harness.experiments import (
     run_table3,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "EXIT_OK",
+    "EXIT_RUNTIME",
+    "EXIT_USAGE",
+    "UsageError",
+    "main",
+    "build_parser",
+]
+
+EXIT_OK = 0
+EXIT_RUNTIME = 1
+EXIT_USAGE = 2
+
+
+class UsageError(Exception):
+    """Semantically invalid arguments (reported with exit code 2)."""
+
 
 _EXPERIMENTS = {
     "table1": run_table1,
@@ -54,44 +81,107 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Reproduce the tables and figures of the GPU-ICD paper (PPoPP 2017).",
+        description="Reproduce the tables and figures of the GPU-ICD paper "
+        "(PPoPP 2017), and serve reconstructions as jobs.",
     )
     parser.add_argument(
-        "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "tune", "suite", "profile"],
-        help="which experiment to run ('all' runs every table/figure; "
-        "'suite' runs the ensemble statistics; 'profile' runs instrumented "
-        "reconstructions and emits the metrics report)",
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
-    parser.add_argument("--pixels", type=int, default=64,
-                        help="scaled image side for real-numerics runs (default 64)")
-    parser.add_argument("--cases", type=int, default=3,
-                        help="ensemble size for Table 1 (default 3)")
-    parser.add_argument("--seed", type=int, default=0, help="ensemble/run seed")
-    parser.add_argument("--zero-skip", type=float, default=0.4,
-                        help="zero-skip fraction for 'tune' (default 0.4)")
-    parser.add_argument("--driver", choices=["icd", "psv", "gpu", "all"], default="all",
-                        help="which driver(s) 'profile' instruments (default all)")
-    parser.add_argument("--equits", type=float, default=2.0,
-                        help="equits per instrumented 'profile' run (default 2)")
-    parser.add_argument("--metrics-json", metavar="PATH", default=None,
-                        help="write the 'profile' span/counter report as JSON")
-    parser.add_argument("--backend", choices=["inline", "serial", "thread", "process"],
-                        default="inline",
-                        help="wave execution backend for the PSV/GPU drivers in "
-                        "'profile' (default inline; see repro.core.backends)")
-    parser.add_argument("--workers", type=int, default=None, metavar="N",
-                        help="pool size for --backend thread/process "
-                        "(default: driver-chosen)")
-    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
-                        help="persist resumable 'profile' run state under "
-                        "DIR/<driver> (see repro.resilience)")
-    parser.add_argument("--checkpoint-every", type=int, default=1, metavar="K",
-                        help="checkpoint cadence in iterations (default 1)")
-    parser.add_argument("--resume", action="store_true",
-                        help="resume each 'profile' driver from its latest "
-                        "checkpoint under --checkpoint-dir (bit-identical "
-                        "to an uninterrupted run)")
+
+    # Flags shared by every experiment subcommand.
+    ctx_flags = argparse.ArgumentParser(add_help=False)
+    ctx_flags.add_argument("--pixels", type=int, default=64,
+                           help="scaled image side for real-numerics runs (default 64)")
+    ctx_flags.add_argument("--cases", type=int, default=3,
+                           help="ensemble size for Table 1 (default 3)")
+    ctx_flags.add_argument("--seed", type=int, default=0, help="ensemble/run seed")
+
+    sub = parser.add_subparsers(dest="experiment", required=True, metavar="COMMAND")
+
+    for name in sorted(_EXPERIMENTS) + ["all", "suite"]:
+        sub.add_parser(
+            name, parents=[ctx_flags],
+            help="run every table/figure" if name == "all"
+            else "run the ensemble statistics" if name == "suite"
+            else f"reproduce {name}",
+        )
+
+    tune = sub.add_parser("tune", parents=[ctx_flags],
+                          help="auto-tune GPU-ICD parameters on the timing model")
+    tune.add_argument("--zero-skip", type=float, default=0.4,
+                      help="zero-skip fraction for 'tune' (default 0.4)")
+
+    profile = sub.add_parser(
+        "profile", parents=[ctx_flags],
+        help="run instrumented reconstructions and emit the metrics report",
+    )
+    profile.add_argument("--driver", choices=["icd", "psv", "gpu", "all"], default="all",
+                         help="which driver(s) to instrument (default all)")
+    profile.add_argument("--equits", type=float, default=2.0,
+                         help="equits per instrumented run (default 2)")
+    profile.add_argument("--metrics-json", metavar="PATH", default=None,
+                         help="write the span/counter report as JSON")
+    profile.add_argument("--backend", choices=["inline", "serial", "thread", "process"],
+                         default="inline",
+                         help="wave execution backend for the PSV/GPU drivers "
+                         "(default inline; see repro.core.backends)")
+    profile.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="pool size for --backend thread/process "
+                         "(default: driver-chosen)")
+    profile.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="persist resumable run state under DIR/<driver> "
+                         "(see repro.resilience)")
+    profile.add_argument("--checkpoint-every", type=int, default=1, metavar="K",
+                         help="checkpoint cadence in iterations (default 1)")
+    profile.add_argument("--resume", action="store_true",
+                         help="resume each driver from its latest checkpoint "
+                         "under --checkpoint-dir (bit-identical to an "
+                         "uninterrupted run)")
+
+    serve = sub.add_parser(
+        "serve", help="serve reconstruction jobs out of a queue directory"
+    )
+    serve.add_argument("queue_dir", help="the queue directory (created if missing)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrently running jobs (default 2)")
+    serve.add_argument("--max-queue-depth", type=int, default=None, metavar="D",
+                       help="admission-control bound on pending jobs "
+                       "(default unbounded)")
+    serve.add_argument("--checkpoint-every", type=int, default=1, metavar="K",
+                       help="per-job checkpoint cadence in iterations (default 1)")
+    serve.add_argument("--drain", action="store_true",
+                       help="exit once every submitted job is terminal "
+                       "(default: serve until killed)")
+    serve.add_argument("--max-seconds", type=float, default=None, metavar="S",
+                       help="stop serving after S seconds")
+    serve.add_argument("--poll", type=float, default=0.05, metavar="S",
+                       help="intake poll interval in seconds (default 0.05)")
+    serve.add_argument("--metrics-json", metavar="PATH", default=None,
+                       help="write the service.* counter report as JSON on exit")
+
+    submit = sub.add_parser("submit", help="drop a job spec into a queue directory")
+    submit.add_argument("queue_dir")
+    submit.add_argument("--driver", choices=["icd", "psv_icd", "gpu_icd"],
+                        required=True, help="reconstruction driver")
+    submit.add_argument("--scan", required=True, metavar="PATH",
+                        help="scan file (repro.io.save_scan format); relative "
+                        "paths resolve against the queue directory")
+    submit.add_argument("--params", default=None, metavar="JSON",
+                        help='driver kwargs as a JSON object, e.g. '
+                        '\'{"max_equits": 4.0}\'')
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority; higher runs earlier (default 0)")
+    submit.add_argument("--job-id", default=None,
+                        help="stable job id (default: derived from time+pid)")
+
+    status = sub.add_parser("status", help="print a job's last status snapshot")
+    status.add_argument("queue_dir")
+    status.add_argument("job_id")
+
+    cancel = sub.add_parser("cancel", help="request cancellation of a job")
+    cancel.add_argument("queue_dir")
+    cancel.add_argument("job_id")
+
     return parser
 
 
@@ -137,6 +227,9 @@ def _run_profile(args) -> None:
     )
     from repro.observability import MetricsRecorder
 
+    if args.resume and args.checkpoint_dir is None:
+        raise UsageError("--resume requires --checkpoint-dir")
+
     n = args.pixels
     geom = scaled_geometry(n)
     system = build_system_matrix(geom)
@@ -149,8 +242,6 @@ def _run_profile(args) -> None:
     def resilience(driver_name: str) -> dict:
         """Per-driver checkpoint/resume kwargs (empty when not requested)."""
         if args.checkpoint_dir is None:
-            if args.resume:
-                raise SystemExit("--resume requires --checkpoint-dir")
             return {}
         from repro.resilience import CheckpointManager
 
@@ -218,26 +309,126 @@ def _run_profile(args) -> None:
         print(f"metrics report written to {args.metrics_json}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+# ----------------------------------------------------------------------
+# Service subcommands
+# ----------------------------------------------------------------------
+def _run_serve(args) -> None:
+    from repro.observability import MetricsRecorder
+    from repro.service import DirectoryService
+
+    metrics = MetricsRecorder()
+    service = DirectoryService(
+        args.queue_dir,
+        n_workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        checkpoint_every=args.checkpoint_every,
+        metrics=metrics,
+        poll_s=args.poll,
+    )
+    print(f"serving {args.queue_dir} with {args.workers} worker(s)"
+          + (" until drained" if args.drain else ""))
+    try:
+        drained = service.run(drain=args.drain, max_seconds=args.max_seconds)
+    finally:
+        service.close()
+        report = service.service.report()
+        counters = {k: v for k, v in sorted(report["counters"].items())
+                    if k.startswith("service.")}
+        for key, val in counters.items():
+            print(f"  {key:28s} {val:12.3f}")
+        if args.metrics_json:
+            with open(args.metrics_json, "w") as f:
+                json.dump(report, f, indent=2, sort_keys=True)
+                f.write("\n")
+    if args.drain and drained:
+        print("drained: all jobs terminal")
+
+
+def _run_submit(args) -> None:
+    from repro.service import write_job_spec
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as exc:
+        raise UsageError(f"--params is not valid JSON: {exc}") from exc
+    if not isinstance(params, dict):
+        raise UsageError("--params must be a JSON object")
+    job_id = args.job_id or f"job-{int(time.time() * 1000):x}-{os.getpid()}"
+    path = write_job_spec(
+        args.queue_dir, job_id,
+        driver=args.driver, scan_path=args.scan,
+        params=params, priority=args.priority,
+    )
+    print(f"submitted {job_id} -> {path}")
+
+
+def _run_status(args) -> None:
+    from repro.service import read_status
+
+    status = read_status(args.queue_dir, args.job_id)
+    if status is None:
+        raise RuntimeError(
+            f"no status for job {args.job_id!r} in {args.queue_dir} "
+            f"(not yet accepted by a server?)"
+        )
+    print(json.dumps(status, indent=2, sort_keys=True))
+
+
+def _run_cancel(args) -> None:
+    from repro.service import request_cancel
+
+    sentinel = request_cancel(args.queue_dir, args.job_id)
+    print(f"cancel requested for {args.job_id} ({sentinel})")
+
+
+_SERVICE_COMMANDS = {
+    "serve": _run_serve,
+    "submit": _run_submit,
+    "status": _run_status,
+    "cancel": _run_cancel,
+}
+
+
+def _dispatch(args) -> int:
+    if args.experiment in _SERVICE_COMMANDS:
+        _SERVICE_COMMANDS[args.experiment](args)
+        return EXIT_OK
     if args.experiment == "tune":
         _run_tune(args)
-        return 0
+        return EXIT_OK
     if args.experiment == "profile":
         _run_profile(args)
-        return 0
+        return EXIT_OK
     if args.experiment == "suite":
         from repro.harness.suite import run_suite
 
         ctx = ExperimentContext(n_pixels=args.pixels, n_cases=args.cases, seed=args.seed)
         print(run_suite(ctx).format())
-        return 0
+        return EXIT_OK
     ctx = ExperimentContext(n_pixels=args.pixels, n_cases=args.cases, seed=args.seed)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _run_one(name, ctx)
-    return 0
+    return EXIT_OK
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    0 = success, 1 = runtime failure, 2 = usage error.  (argparse's own
+    rejections raise ``SystemExit(2)``, matching :data:`EXIT_USAGE`.)
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+"""Multi-job reconstruction service: queue, scheduler, workers, result cache.
+
+The paper's pipeline reconstructs one scan per process; this package turns
+the three drivers into a *service* (DESIGN.md §12): jobs are submitted with
+priorities, admitted against a bounded queue, executed concurrently on a
+worker pool with per-job checkpoint/resume, deduplicated through a
+content-addressed result cache, and observable through status snapshots,
+progress streams, and ``service.*`` counters.
+
+Entry points: :class:`ReconstructionService` (in-process),
+:class:`DirectoryService` / ``python -m repro serve`` (file-based intake).
+"""
+
+from repro.service.cache import CachedResult, ResultCache, cache_key
+from repro.service.intake import (
+    DirectoryService,
+    read_status,
+    request_cancel,
+    write_job_spec,
+)
+from repro.service.jobs import (
+    DRIVERS,
+    TERMINAL_STATES,
+    Job,
+    JobCancelledError,
+    JobEvent,
+    JobFailedError,
+    JobSpec,
+    JobState,
+    JobStateError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.service.progress import ProgressEvent, ProgressRecorder
+from repro.service.queue import AdmissionError, JobQueue
+from repro.service.runner import clear_system_cache, run_job, system_for
+from repro.service.scheduler import Scheduler
+from repro.service.service import ReconstructionService
+
+__all__ = [
+    "DRIVERS",
+    "TERMINAL_STATES",
+    "ServiceError",
+    "JobStateError",
+    "JobFailedError",
+    "JobCancelledError",
+    "UnknownJobError",
+    "AdmissionError",
+    "JobState",
+    "JobEvent",
+    "JobSpec",
+    "Job",
+    "JobQueue",
+    "cache_key",
+    "CachedResult",
+    "ResultCache",
+    "ProgressEvent",
+    "ProgressRecorder",
+    "system_for",
+    "clear_system_cache",
+    "run_job",
+    "Scheduler",
+    "ReconstructionService",
+    "DirectoryService",
+    "write_job_spec",
+    "read_status",
+    "request_cancel",
+]

@@ -1,0 +1,94 @@
+"""Per-job progress stream fed from the drivers' iteration spans.
+
+The drivers already emit one ``iteration`` span per outer iteration and the
+resilience layer one ``checkpoint_save`` span per snapshot (DESIGN.md §9) —
+so instead of inventing a second callback plumbing through every driver,
+the service hands each job a :class:`ProgressRecorder`: a
+:class:`~repro.observability.MetricsRecorder` whose span-close hook
+
+* emits a :class:`ProgressEvent` to the job's subscriber after every
+  completed iteration,
+* records each checkpoint snapshot as a ``CHECKPOINTED`` job event, and
+* checks the job's cancel token at the iteration boundary, raising
+  :class:`~repro.service.jobs.JobCancelledError` out of the driver loop —
+  cooperative cancellation with zero driver changes.
+
+Each job owns a private recorder (MetricsRecorder span stacks are not
+thread-safe), and its full metrics report is kept with the job, so a job's
+per-iteration timing breakdown remains inspectable after completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.observability import MetricsRecorder, Span
+from repro.service.jobs import Job, JobCancelledError
+
+__all__ = ["ProgressEvent", "ProgressRecorder"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification delivered to a job's subscriber."""
+
+    job_id: str
+    kind: str  # "iteration" | "checkpoint"
+    iteration: int
+    duration_s: float | None = None
+
+
+class ProgressRecorder(MetricsRecorder):
+    """MetricsRecorder that streams iteration/checkpoint spans to a job.
+
+    Events fire from :meth:`_pop` — i.e. when the driver's ``with
+    rec.span("iteration")`` block exits — so the iterate, history record,
+    and checkpoint for that iteration are already complete when the
+    subscriber sees the event.  Cancellation raised here propagates out of
+    the driver's iteration loop; the drivers release backend resources via
+    their ``finally`` blocks, and the worker marks the job CANCELLED.
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        on_progress: Callable[[ProgressEvent], None] | None = None,
+    ) -> None:
+        super().__init__()
+        self._job = job
+        self._on_progress = on_progress
+
+    def _emit(self, event: ProgressEvent) -> None:
+        if self._on_progress is not None:
+            self._on_progress(event)
+
+    def _pop(self, span: Span) -> None:
+        super()._pop(span)
+        meta = span.meta or {}
+        if span.name == "iteration":
+            iteration = int(meta.get("index", 0))
+            self._job.note_iteration(iteration, span.duration)
+            self._emit(
+                ProgressEvent(
+                    job_id=self._job.job_id,
+                    kind="iteration",
+                    iteration=iteration,
+                    duration_s=span.duration,
+                )
+            )
+            if self._job.cancel_requested:
+                raise JobCancelledError(
+                    f"job {self._job.job_id} cancelled at iteration {iteration}"
+                )
+        elif span.name == "checkpoint_save":
+            iteration = int(meta.get("iteration", 0))
+            self._job.note_checkpoint(iteration)
+            self._emit(
+                ProgressEvent(
+                    job_id=self._job.job_id,
+                    kind="checkpoint",
+                    iteration=iteration,
+                    duration_s=span.duration,
+                )
+            )

@@ -1,0 +1,95 @@
+"""Priority job queue with admission control.
+
+Ordering is **priority first, FIFO within a priority class**: each entry is
+keyed ``(-priority, seq)`` where ``seq`` is the monotonically increasing
+submission number, so two jobs of equal priority dequeue in the order they
+were accepted.
+
+Admission control is a bounded depth: past ``max_depth`` pending entries,
+:meth:`JobQueue.put` raises the typed :class:`AdmissionError` immediately
+instead of blocking — backpressure the submitter can see and retry on,
+rather than an invisible ever-growing backlog.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from repro.service.jobs import Job, ServiceError
+
+__all__ = ["AdmissionError", "JobQueue"]
+
+
+class AdmissionError(ServiceError):
+    """The queue is at capacity; the submission was rejected, not enqueued."""
+
+    def __init__(self, depth: int, max_depth: int) -> None:
+        super().__init__(
+            f"job queue is full ({depth}/{max_depth} pending); resubmit after "
+            f"the backlog drains"
+        )
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue of :class:`Job` objects.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of *pending* entries.  ``None`` disables admission
+        control.  Jobs a worker has already taken do not count against it.
+    """
+
+    def __init__(self, max_depth: int | None = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, Job]] = []
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Number of jobs waiting to be picked up."""
+        return len(self)
+
+    def put(self, job: Job) -> None:
+        """Enqueue ``job``; raises :class:`AdmissionError` at capacity."""
+        with self._lock:
+            if self.max_depth is not None and len(self._heap) >= self.max_depth:
+                raise AdmissionError(len(self._heap), self.max_depth)
+            heapq.heappush(self._heap, (-job.spec.priority, job.seq, job))
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> Job | None:
+        """Dequeue the highest-priority job; None on timeout or close.
+
+        Blocks up to ``timeout`` seconds (forever when None) while the
+        queue is empty and open.
+        """
+        with self._not_empty:
+            if not self._heap and not self._closed:
+                self._not_empty.wait(timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Wake every blocked :meth:`get`; subsequent empty gets return None."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._lock:
+            return self._closed

@@ -1,0 +1,199 @@
+"""The scheduler: a worker pool draining the job queue through the drivers.
+
+Each worker thread loops: take the highest-priority pending job, then
+
+1. honour a cancel that arrived while the job was queued (PENDING →
+   CANCELLED without running anything);
+2. consult the :class:`~repro.service.cache.ResultCache` — a duplicate of
+   an already-finished reconstruction is served the cached volume (PENDING
+   → DONE, ``from_cache=True``) without recomputation.  The check is
+   *skipped* when the job already has checkpoints on disk: a mid-flight
+   job whose worker died must resume, not be short-circuited by a result
+   some other submission produced;
+3. run the job via :func:`~repro.service.runner.run_job` with a per-job
+   checkpoint directory (``<root>/<job_id>/checkpoints``) and
+   ``resume_from="latest"``, streaming progress through a per-job
+   :class:`~repro.service.progress.ProgressRecorder`;
+4. file the outcome: DONE (result stored in the cache), CANCELLED (the
+   cooperative :class:`JobCancelledError` surfaced at an iteration
+   boundary), or FAILED (the exception message lands in ``job.error``).
+
+Service-level ``service.*`` counters (queue wait, run time, completion /
+failure / dedup tallies) accumulate into a shared recorder under a lock —
+:class:`~repro.observability.MetricsRecorder` counters are not themselves
+thread-safe — and merge into the run report alongside the per-job metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.observability import MetricsRecorder, as_recorder
+from repro.service.cache import ResultCache
+from repro.service.jobs import Job, JobCancelledError, JobState
+from repro.service.progress import ProgressEvent, ProgressRecorder
+from repro.service.queue import JobQueue
+from repro.service.runner import run_job
+
+__all__ = ["Scheduler"]
+
+#: how long an idle worker blocks on the queue before re-checking shutdown.
+_POLL_S = 0.1
+
+
+class Scheduler:
+    """Runs queued jobs on ``n_workers`` concurrent worker threads.
+
+    Parameters
+    ----------
+    queue, cache:
+        The shared pending queue and result cache.
+    checkpoint_root:
+        Directory under which each job gets its own
+        ``<job_id>/checkpoints`` snapshot store.
+    n_workers:
+        Number of concurrently running jobs.
+    checkpoint_every:
+        Snapshot cadence (iterations) for every job.
+    metrics:
+        Optional service-level recorder receiving ``service.*`` counters.
+    on_progress:
+        Optional callback invoked with every job's
+        :class:`~repro.service.progress.ProgressEvent` (in addition to any
+        per-job subscriber registered at submit time).
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        cache: ResultCache,
+        *,
+        checkpoint_root: str | Path,
+        n_workers: int = 2,
+        checkpoint_every: int = 1,
+        metrics: MetricsRecorder | None = None,
+        on_progress: Callable[[ProgressEvent], None] | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.queue = queue
+        self.cache = cache
+        self.checkpoint_root = Path(checkpoint_root)
+        self.n_workers = int(n_workers)
+        self.checkpoint_every = int(checkpoint_every)
+        self.rec = as_recorder(metrics)
+        self.on_progress = on_progress
+        self._clock = clock
+        self._counter_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # -- counters (shared recorder; guard every update) -----------------
+    def _count(self, name: str, n: float = 1) -> None:
+        with self._counter_lock:
+            self.rec.count(name, n)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        self._stop.clear()
+        for i in range(self.n_workers):
+            t = threading.Thread(target=self._worker, name=f"recon-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, *, wait: bool = True) -> None:
+        """Stop taking new jobs; optionally join the workers.
+
+        Jobs already running finish (or get cancelled by their owners);
+        jobs still queued stay PENDING.
+        """
+        self._stop.set()
+        self.queue.close()
+        if wait:
+            for t in self._threads:
+                t.join()
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        """Whether worker threads are active."""
+        return any(t.is_alive() for t in self._threads)
+
+    # -- worker loop ----------------------------------------------------
+    def checkpoint_dir_for(self, job_id: str) -> Path:
+        """Where a job's checkpoints live (stable across worker lives)."""
+        return self.checkpoint_root / job_id / "checkpoints"
+
+    def _worker(self) -> None:
+        while True:
+            job = self.queue.get(timeout=_POLL_S)
+            if job is None:
+                if self._stop.is_set():
+                    return
+                continue
+            try:
+                self._execute(job)
+            except Exception as exc:  # never let a worker thread die silently
+                if not job.terminal:
+                    job.transition(JobState.FAILED, error=f"worker error: {exc}")
+                    self._count("service.jobs_failed")
+
+    def _execute(self, job: Job) -> None:
+        self._count("service.queue_wait_s", self._clock() - job.submitted_at)
+        if job.cancel_requested:
+            job.transition(JobState.CANCELLED)
+            self._count("service.jobs_cancelled")
+            return
+
+        ckpt_dir = self.checkpoint_dir_for(job.job_id)
+        has_checkpoints = any(ckpt_dir.glob("ckpt-*.ckpt"))
+
+        if job.cache_key is not None and not has_checkpoints:
+            entry = self.cache.get(job.cache_key)
+            if entry is not None:
+                job.result = entry
+                job.from_cache = True
+                job.record_event("DEDUPED", cache_key=job.cache_key)
+                job.transition(JobState.DONE, from_cache=True)
+                self._count("service.jobs_deduped")
+                self._count("service.jobs_completed")
+                return
+
+        job.transition(JobState.RUNNING, resumed=has_checkpoints)
+        recorder = ProgressRecorder(job, self.on_progress)
+        job.metrics = recorder
+        started = self._clock()
+        try:
+            result = run_job(
+                job.spec,
+                checkpoint_dir=ckpt_dir,
+                checkpoint_every=self.checkpoint_every,
+                metrics=recorder,
+            )
+        except JobCancelledError:
+            job.transition(JobState.CANCELLED, iteration=job.iteration)
+            self._count("service.jobs_cancelled")
+            return
+        except Exception as exc:
+            job.transition(JobState.FAILED, error=str(exc))
+            self._count("service.jobs_failed")
+            return
+        finally:
+            self._count("service.run_s", self._clock() - started)
+
+        job.result = result
+        if job.cache_key is not None:
+            self.cache.put(
+                job.cache_key,
+                result,
+                metadata={"job_id": job.job_id, "driver": job.spec.driver},
+            )
+        job.transition(JobState.DONE)
+        self._count("service.jobs_completed")

@@ -1,0 +1,249 @@
+"""The service facade: submit / status / result / cancel / drain.
+
+:class:`ReconstructionService` wires the queue, scheduler, and result cache
+together behind the five-call API the CLI and the directory intake expose:
+
+>>> svc = ReconstructionService(n_workers=2)
+>>> job_id = svc.submit(JobSpec(driver="icd", scan=scan,
+...                             params={"max_equits": 3.0}))
+>>> svc.status(job_id)["state"]
+'PENDING'
+>>> image = svc.result(job_id).image      # blocks until DONE
+>>> svc.close()
+
+Construction with ``start=False`` leaves the workers parked so a batch of
+submissions can be enqueued first — with one worker this makes the
+execution order exactly the queue's (-priority, submission) order, which
+the priority acceptance test pins down deterministically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.observability import MetricsRecorder
+from repro.service.cache import ResultCache, cache_key
+from repro.service.jobs import (
+    Job,
+    JobCancelledError,
+    JobFailedError,
+    JobSpec,
+    JobState,
+    JobStateError,
+    UnknownJobError,
+)
+from repro.service.progress import ProgressEvent
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+
+__all__ = ["ReconstructionService"]
+
+
+class ReconstructionService:
+    """A multi-job reconstruction service over the three ICD drivers.
+
+    Parameters
+    ----------
+    n_workers:
+        Concurrently running jobs.
+    max_queue_depth:
+        Admission-control bound on *pending* jobs (None = unbounded);
+        :meth:`submit` raises
+        :class:`~repro.service.queue.AdmissionError` past it.
+    checkpoint_root:
+        Root for per-job checkpoint directories.  Defaults to a private
+        temporary directory removed on :meth:`close`; pass a real path to
+        make jobs survive process restarts.
+    cache_dir:
+        Optional persistence directory for the result cache.
+    checkpoint_every:
+        Snapshot cadence (iterations) for every job.
+    start:
+        When False, workers stay parked until :meth:`start` — submissions
+        queue up and then execute strictly in priority order.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 2,
+        max_queue_depth: int | None = None,
+        checkpoint_root: str | Path | None = None,
+        cache_dir: str | Path | None = None,
+        checkpoint_every: int = 1,
+        metrics: MetricsRecorder | None = None,
+        on_progress: Callable[[ProgressEvent], None] | None = None,
+        start: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._clock = clock
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        if checkpoint_root is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-service-")
+            checkpoint_root = self._tmpdir.name
+        self.checkpoint_root = Path(checkpoint_root)
+
+        self.rec = metrics if metrics is not None else MetricsRecorder()
+        self.queue = JobQueue(max_depth=max_queue_depth)
+        self.cache = ResultCache(cache_dir)
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._seq = itertools.count()
+        self._subscribers: dict[str, Callable[[ProgressEvent], None]] = {}
+        self._on_progress = on_progress
+        self.scheduler = Scheduler(
+            self.queue,
+            self.cache,
+            checkpoint_root=self.checkpoint_root,
+            n_workers=n_workers,
+            checkpoint_every=checkpoint_every,
+            metrics=self.rec,
+            on_progress=self._dispatch_progress,
+            clock=clock,
+        )
+        self._closed = False
+        if start:
+            self.start()
+
+    # -- progress fan-out -----------------------------------------------
+    def _dispatch_progress(self, event: ProgressEvent) -> None:
+        subscriber = self._subscribers.get(event.job_id)
+        if subscriber is not None:
+            subscriber(event)
+        if self._on_progress is not None:
+            self._on_progress(event)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Start (or restart) the worker pool."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self.scheduler.start()
+
+    def close(self) -> None:
+        """Stop the workers and release the temporary checkpoint root."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.stop(wait=True)
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "ReconstructionService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- the five calls --------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        on_progress: Callable[[ProgressEvent], None] | None = None,
+    ) -> str:
+        """Enqueue a reconstruction; returns its job id.
+
+        Raises :class:`~repro.service.queue.AdmissionError` when the
+        pending queue is at capacity (the job is *not* registered).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        job_id = spec.job_id if spec.job_id is not None else uuid.uuid4().hex[:12]
+        with self._jobs_lock:
+            if job_id in self._jobs and not self._jobs[job_id].terminal:
+                raise JobStateError(f"job id {job_id!r} is already active")
+        job = Job(
+            job_id,
+            spec,
+            seq=next(self._seq),
+            cache_key=cache_key(spec.driver, spec.scan, spec.params),
+            clock=self._clock,
+        )
+        self.queue.put(job)  # AdmissionError propagates before registration
+        with self._jobs_lock:
+            self._jobs[job_id] = job
+        if on_progress is not None:
+            self._subscribers[job_id] = on_progress
+        with self.scheduler._counter_lock:
+            self.rec.count("service.jobs_submitted")
+            depth = self.queue.depth
+            peak = self.rec.counters.get("service.queue_depth_peak", 0)
+            if depth > peak:
+                self.rec.counters["service.queue_depth_peak"] = depth
+        return job_id
+
+    def job(self, job_id: str) -> Job:
+        """The live :class:`Job` for ``job_id`` (raises UnknownJobError)."""
+        with self._jobs_lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """JSON-ready status snapshot of one job."""
+        return self.job(job_id).snapshot()
+
+    def result(self, job_id: str, timeout: float | None = None):
+        """Block until the job finishes; return its result object.
+
+        Raises :class:`JobFailedError` / :class:`JobCancelledError` for the
+        failure states and :class:`TimeoutError` when ``timeout`` expires
+        first.
+        """
+        job = self.job(job_id)
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.state.value} after {timeout}s")
+        if job.state is JobState.FAILED:
+            raise JobFailedError(f"job {job_id} failed: {job.error}")
+        if job.state is JobState.CANCELLED:
+            raise JobCancelledError(f"job {job_id} was cancelled")
+        return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; False if the job already finished.
+
+        Pending jobs are dropped when a worker reaches them; running jobs
+        stop cooperatively at the next iteration boundary.
+        """
+        return self.job(job_id).request_cancel()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job is terminal; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            if not job.wait(remaining):
+                return False
+        return True
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def jobs(self) -> list[Job]:
+        """All jobs the service knows about, in submission order."""
+        with self._jobs_lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def report(self) -> dict[str, Any]:
+        """The service-level metrics report (``service.*`` counters).
+
+        Counter snapshot plus the live queue depth; per-job span trees stay
+        with the jobs (``job.metrics``).
+        """
+        with self.scheduler._counter_lock:
+            doc = self.rec.to_dict()
+        doc["counters"]["service.queue_depth"] = self.queue.depth
+        return doc

@@ -56,6 +56,12 @@ def phantom32():
 
 
 @pytest.fixture(scope="session")
+def scan16(system16, phantom16):
+    """Noisy scan of the 16^2 phantom (fast service/CLI tests)."""
+    return simulate_scan(phantom16, system16, dose=1e5, seed=7)
+
+
+@pytest.fixture(scope="session")
 def scan32(system32, phantom32):
     """Noisy scan of the 32^2 phantom."""
     return simulate_scan(phantom32, system32, dose=1e5, seed=7)

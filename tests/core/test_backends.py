@@ -12,6 +12,7 @@ from repro.core.backends import (
     SVWaveTask,
     ThreadBackend,
     make_backend,
+    make_wave_tasks,
     run_wave,
     wave_task_seed,
 )
@@ -387,3 +388,15 @@ class TestTaskSeeding:
         first = np.random.default_rng(wave_task_seed(7, 42)).integers(0, 2**63, 4)
         again = np.random.default_rng(wave_task_seed(7, 42)).integers(0, 2**63, 4)
         np.testing.assert_array_equal(first, again)
+
+    def test_make_wave_tasks_single_source_of_truth(self):
+        """The shared task builder derives every seed via wave_task_seed."""
+        tasks = make_wave_tasks(9, [3, 1, 8], stale_width=5, kernel="vectorized")
+        assert [t.sv_index for t in tasks] == [3, 1, 8]
+        assert all(t.stale_width == 5 and t.kernel == "vectorized" for t in tasks)
+        for t in tasks:
+            expected = np.random.default_rng(wave_task_seed(9, t.sv_index))
+            got = np.random.default_rng(t.seed)
+            np.testing.assert_array_equal(
+                got.integers(0, 2**63, 4), expected.integers(0, 2**63, 4)
+            )

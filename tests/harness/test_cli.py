@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.cli import build_parser, main
+from repro.harness.cli import EXIT_OK, EXIT_RUNTIME, EXIT_USAGE, build_parser, main
 
 
 class TestParser:
@@ -105,11 +105,10 @@ class TestProfileResilienceFlags:
         assert args.resume is True
 
     def test_resume_requires_checkpoint_dir(self, capsys):
-        import pytest
-
-        with pytest.raises(SystemExit):
-            main(["profile", "--pixels", "16", "--equits", "1",
-                  "--driver", "icd", "--resume"])
+        """Semantic flag conflicts report the usage exit code, not a crash."""
+        assert main(["profile", "--pixels", "16", "--equits", "1",
+                     "--driver", "icd", "--resume"]) == EXIT_USAGE
+        assert "--checkpoint-dir" in capsys.readouterr().err
 
     def test_checkpoint_dir_writes_per_driver_subdirs(self, tmp_path, capsys):
         assert main([
@@ -129,3 +128,98 @@ class TestProfileResilienceFlags:
         assert main(common + ["--resume"]) == 0
         out = capsys.readouterr().out
         assert "icd:" in out
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_matches_pyproject(self):
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        assert f'version = "{repro.__version__}"' in pyproject.read_text()
+
+
+class TestExitCodes:
+    """Bad arguments and runtime failures report distinct exit codes."""
+
+    def test_bad_arguments_exit_2(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["fig9"])
+        assert exc_info.value.code == EXIT_USAGE
+
+    def test_missing_command_exits_2(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main([])
+        assert exc_info.value.code == EXIT_USAGE
+
+    def test_runtime_failure_exits_1(self, tmp_path, capsys):
+        # status for a job no server ever accepted: a runtime failure.
+        assert main(["status", str(tmp_path), "no-such-job"]) == EXIT_RUNTIME
+        assert "no-such-job" in capsys.readouterr().err
+
+    def test_bad_params_json_exits_2(self, tmp_path, capsys):
+        assert main([
+            "submit", str(tmp_path), "--driver", "icd",
+            "--scan", "scan.npz", "--params", "{not json",
+        ]) == EXIT_USAGE
+        assert "JSON" in capsys.readouterr().err
+
+    def test_success_exits_0(self, capsys):
+        assert main(["tune", "--zero-skip", "0.3"]) == EXIT_OK
+
+
+class TestServiceCommands:
+    """The submit/status/cancel subcommands speak the queue-dir protocol."""
+
+    def test_submit_writes_incoming_spec(self, tmp_path, capsys):
+        import json
+
+        assert main([
+            "submit", str(tmp_path), "--driver", "psv_icd",
+            "--scan", "scan.npz", "--params", '{"max_equits": 2.0}',
+            "--priority", "7", "--job-id", "jobx",
+        ]) == EXIT_OK
+        assert "jobx" in capsys.readouterr().out
+        doc = json.loads((tmp_path / "incoming" / "jobx.json").read_text())
+        assert doc["driver"] == "psv_icd"
+        assert doc["priority"] == 7
+        assert doc["params"] == {"max_equits": 2.0}
+
+    def test_cancel_drops_sentinel(self, tmp_path, capsys):
+        assert main(["cancel", str(tmp_path), "jobx"]) == EXIT_OK
+        assert (tmp_path / "jobs" / "jobx" / "cancel").exists()
+
+    def test_serve_drains_a_submitted_job(self, tmp_path, capsys, scan16):
+        import json
+
+        from repro.io import save_scan
+
+        save_scan(tmp_path / "scan.npz", scan16)
+        assert main([
+            "submit", str(tmp_path), "--driver", "icd", "--scan", "scan.npz",
+            "--params", '{"max_equits": 1.0, "track_cost": false}',
+            "--job-id", "cli-job",
+        ]) == EXIT_OK
+        assert main([
+            "serve", str(tmp_path), "--workers", "1", "--drain",
+            "--max-seconds", "120",
+            "--metrics-json", str(tmp_path / "service.json"),
+        ]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "drained" in out
+        status = json.loads(
+            (tmp_path / "jobs" / "cli-job" / "status.json").read_text()
+        )
+        assert status["state"] == "DONE"
+        assert (tmp_path / "jobs" / "cli-job" / "result.npz").exists()
+        report = json.loads((tmp_path / "service.json").read_text())
+        assert report["counters"]["service.jobs_completed"] == 1

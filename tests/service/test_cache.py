@@ -1,0 +1,90 @@
+"""ResultCache: content addressing, persistence, corruption tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import IterationRecord, RunHistory
+from repro.ct import simulate_scan
+from repro.service import CachedResult, ResultCache, cache_key
+
+
+def _history():
+    h = RunHistory()
+    h.append(IterationRecord(iteration=1, equits=1.0, cost=2.0, rmse=None,
+                             updates=10, svs_updated=4))
+    return h
+
+
+def _result(image):
+    return CachedResult(image=np.asarray(image), history=_history(), metadata={})
+
+
+class TestCacheKey:
+    def test_identical_inputs_identical_key(self, scan16):
+        params = {"max_equits": 2.0, "seed": 0}
+        assert cache_key("icd", scan16, params) == cache_key("icd", scan16, dict(params))
+
+    def test_param_order_does_not_matter(self, scan16):
+        a = cache_key("icd", scan16, {"a": 1, "b": 2})
+        b = cache_key("icd", scan16, {"b": 2, "a": 1})
+        assert a == b
+
+    def test_driver_params_and_data_all_discriminate(self, scan16, system16, phantom16):
+        base = cache_key("icd", scan16, {"max_equits": 2.0})
+        assert cache_key("psv_icd", scan16, {"max_equits": 2.0}) != base
+        assert cache_key("icd", scan16, {"max_equits": 3.0}) != base
+        other = simulate_scan(phantom16, system16, dose=1e5, seed=99)
+        assert cache_key("icd", other, {"max_equits": 2.0}) != base
+
+    def test_numpy_scalar_params_are_hashable(self, scan16):
+        key = cache_key("icd", scan16, {"seed": np.int64(3), "f": np.float64(0.5)})
+        assert cache_key("icd", scan16, {"seed": 3, "f": 0.5}) == key
+
+    def test_unserialisable_params_rejected(self, scan16):
+        with pytest.raises(TypeError):
+            cache_key("icd", scan16, {"bad": object()})
+
+
+class TestMemoryCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", _result(np.ones((4, 4))))
+        entry = cache.get("k")
+        np.testing.assert_array_equal(entry.image, np.ones((4, 4)))
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_put_copies_the_image(self):
+        cache = ResultCache()
+        img = np.ones((2, 2))
+        cache.put("k", _result(img))
+        img[:] = 7.0
+        np.testing.assert_array_equal(cache.get("k").image, np.ones((2, 2)))
+
+    def test_contains_and_len(self):
+        cache = ResultCache()
+        assert "k" not in cache and len(cache) == 0
+        cache.put("k", _result(np.zeros(3)))
+        assert "k" in cache and len(cache) == 1
+
+
+class TestPersistentCache:
+    def test_entries_survive_a_new_cache_instance(self, tmp_path):
+        first = ResultCache(tmp_path / "cache")
+        first.put("deadbeef", _result(np.arange(6.0).reshape(2, 3)))
+
+        second = ResultCache(tmp_path / "cache")  # fresh memory
+        entry = second.get("deadbeef")
+        assert entry is not None
+        np.testing.assert_array_equal(entry.image, np.arange(6.0).reshape(2, 3))
+        assert [r.iteration for r in entry.history.records] == [1]
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", _result(np.ones(4)))
+        (tmp_path / "k.npz").write_bytes(b"garbage")
+
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("k") is None

@@ -1,0 +1,146 @@
+"""DirectoryService: file intake, status publishing, cancel files, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import load_reconstruction, save_scan
+from repro.service import (
+    DirectoryService,
+    read_status,
+    request_cancel,
+    write_job_spec,
+)
+
+PARAMS = {"max_equits": 1.0, "seed": 3, "track_cost": False}
+
+
+@pytest.fixture()
+def queue_dir(tmp_path, scan16):
+    save_scan(tmp_path / "scan.npz", scan16)
+    return tmp_path
+
+
+class TestIntake:
+    def test_spec_file_becomes_a_done_job_with_result(self, queue_dir):
+        write_job_spec(queue_dir, "j1", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+
+        # accepted: moved out of incoming/, spec archived under jobs/
+        assert not (queue_dir / "incoming" / "j1.json").exists()
+        assert (queue_dir / "jobs" / "j1" / "spec.json").exists()
+
+        status = read_status(queue_dir, "j1")
+        assert status["state"] == "DONE"
+        assert status["updated_at"] > 0
+
+        image, history, meta = load_reconstruction(
+            queue_dir / "jobs" / "j1" / "result.npz"
+        )
+        assert image.shape == (16, 16)
+        assert history is not None and len(history.records) >= 1
+        assert meta["job_id"] == "j1"
+        assert meta["driver"] == "icd"
+
+    def test_relative_and_absolute_scan_paths(self, queue_dir):
+        write_job_spec(queue_dir, "rel", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        write_job_spec(queue_dir, "abs", driver="icd",
+                       scan_path=queue_dir / "scan.npz", params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+        assert read_status(queue_dir, "rel")["state"] == "DONE"
+        assert read_status(queue_dir, "abs")["state"] == "DONE"
+
+    def test_unknown_spec_keys_rejected(self, queue_dir):
+        path = write_job_spec(queue_dir, "bad", driver="icd",
+                              scan_path="scan.npz", params=PARAMS)
+        doc = json.loads(path.read_text())
+        doc["threads"] = 64
+        path.write_text(json.dumps(doc))
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            with pytest.raises(ValueError, match="threads"):
+                service.poll_incoming()
+
+    def test_priorities_pass_through(self, queue_dir):
+        write_job_spec(queue_dir, "lo", driver="icd", scan_path="scan.npz",
+                       params=PARAMS, priority=1)
+        write_job_spec(queue_dir, "hi", driver="icd", scan_path="scan.npz",
+                       params=dict(PARAMS, seed=4), priority=9)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+            jobs = {j.job_id: j for j in service.service.jobs}
+        assert jobs["hi"].started_at <= jobs["lo"].started_at
+        assert read_status(queue_dir, "hi")["priority"] == 9
+
+
+class TestCancelFile:
+    def test_cancel_sentinel_cancels_the_job(self, queue_dir):
+        write_job_spec(queue_dir, "victim", driver="icd", scan_path="scan.npz",
+                       params=dict(PARAMS, max_equits=500.0))
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            # wait until it actually starts, then drop the cancel file
+            deadline_hit = service.run(drain=True, max_seconds=0.5)
+            assert not deadline_hit
+            request_cancel(queue_dir, "victim")
+            assert service.run(drain=True, max_seconds=120)
+        assert read_status(queue_dir, "victim")["state"] == "CANCELLED"
+
+
+class TestRecovery:
+    def test_nonterminal_jobs_resubmitted_on_startup(self, queue_dir):
+        write_job_spec(queue_dir, "j1", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        # First life accepts the spec but never runs it (workers get no time):
+        # simulate by accepting with a service whose run loop never steps.
+        service = DirectoryService(queue_dir, n_workers=1)
+        service.poll_incoming()
+        snapshot = read_status(queue_dir, "j1")
+        service.service.scheduler.stop(wait=True)  # die before finishing
+        assert snapshot["state"] in {"PENDING", "RUNNING"}
+
+        # Second life: recovery picks the job up and completes it.
+        with DirectoryService(queue_dir, n_workers=1) as second:
+            assert second.run(drain=True, max_seconds=120)
+        assert read_status(queue_dir, "j1")["state"] == "DONE"
+
+    def test_terminal_jobs_not_resubmitted(self, queue_dir):
+        write_job_spec(queue_dir, "j1", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+        first = read_status(queue_dir, "j1")
+
+        with DirectoryService(queue_dir, n_workers=1) as second:
+            assert second.run(drain=True, max_seconds=120)
+            assert second.service.jobs == []  # nothing was requeued
+        assert read_status(queue_dir, "j1") == first
+
+
+class TestPersistentDedup:
+    def test_duplicate_submission_served_from_disk_cache(self, queue_dir):
+        write_job_spec(queue_dir, "orig", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+
+        # A *new* server life gets the duplicate: the persistent cache
+        # under <queue_dir>/cache must serve it without recomputation.
+        write_job_spec(queue_dir, "dup", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as second:
+            assert second.run(drain=True, max_seconds=120)
+            counters = second.service.report()["counters"]
+        assert counters["service.jobs_deduped"] == 1
+
+        dup_status = read_status(queue_dir, "dup")
+        assert dup_status["state"] == "DONE"
+        assert dup_status["from_cache"] is True
+        img_orig, _, _ = load_reconstruction(queue_dir / "jobs" / "orig" / "result.npz")
+        img_dup, _, _ = load_reconstruction(queue_dir / "jobs" / "dup" / "result.npz")
+        np.testing.assert_array_equal(img_orig, img_dup)

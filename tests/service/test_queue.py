@@ -1,0 +1,83 @@
+"""JobQueue: priority + FIFO ordering, admission control, close semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import AdmissionError, Job, JobQueue, JobSpec
+
+
+def make_job(scan, *, priority=0, seq=0, job_id=None):
+    spec = JobSpec(driver="icd", scan=scan, priority=priority)
+    return Job(job_id or f"j{seq}", spec, seq=seq)
+
+
+class TestOrdering:
+    def test_higher_priority_dequeues_first(self, scan16):
+        q = JobQueue()
+        q.put(make_job(scan16, priority=0, seq=0))
+        q.put(make_job(scan16, priority=9, seq=1))
+        q.put(make_job(scan16, priority=4, seq=2))
+        priorities = [q.get(timeout=1).spec.priority for _ in range(3)]
+        assert priorities == [9, 4, 0]
+
+    def test_fifo_within_priority_class(self, scan16):
+        q = JobQueue()
+        for seq in range(5):
+            q.put(make_job(scan16, priority=3, seq=seq))
+        seqs = [q.get(timeout=1).seq for _ in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_mixed_order_is_priority_then_submission(self, scan16):
+        q = JobQueue()
+        submissions = [(0, 0), (5, 1), (2, 2), (5, 3), (1, 4), (0, 5)]
+        for prio, seq in submissions:
+            q.put(make_job(scan16, priority=prio, seq=seq))
+        got = [(j.spec.priority, j.seq) for j in (q.get(timeout=1) for _ in submissions)]
+        assert got == sorted(submissions, key=lambda t: (-t[0], t[1]))
+
+
+class TestAdmission:
+    def test_put_past_capacity_raises_typed_error(self, scan16):
+        q = JobQueue(max_depth=2)
+        q.put(make_job(scan16, seq=0))
+        q.put(make_job(scan16, seq=1))
+        with pytest.raises(AdmissionError) as exc_info:
+            q.put(make_job(scan16, seq=2))
+        assert exc_info.value.depth == 2
+        assert exc_info.value.max_depth == 2
+        assert len(q) == 2  # the rejected job was not enqueued
+
+    def test_capacity_frees_as_jobs_are_taken(self, scan16):
+        q = JobQueue(max_depth=1)
+        q.put(make_job(scan16, seq=0))
+        assert q.get(timeout=1).seq == 0
+        q.put(make_job(scan16, seq=1))  # no longer raises
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+
+
+class TestBlockingAndClose:
+    def test_get_times_out_on_empty_queue(self):
+        assert JobQueue().get(timeout=0.05) is None
+
+    def test_close_wakes_blocked_getter(self, scan16):
+        q = JobQueue()
+        results = []
+        t = threading.Thread(target=lambda: results.append(q.get(timeout=10)))
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert results == [None]
+
+    def test_queued_jobs_still_drain_after_close(self, scan16):
+        q = JobQueue()
+        q.put(make_job(scan16, seq=0))
+        q.close()
+        assert q.get(timeout=1).seq == 0
+        assert q.get(timeout=0.05) is None

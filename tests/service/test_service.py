@@ -1,0 +1,181 @@
+"""ReconstructionService acceptance: priorities, dedup, lifecycle, progress.
+
+``test_mixed_priority_queue_respects_priorities`` is the ISSUE's acceptance
+demo: a queue of >= 8 mixed-priority jobs submitted against parked workers,
+then executed on one worker — the observed start order must be exactly
+(-priority, submission) order, duplicates must be served from the result
+cache without recomputation, and every job must finish DONE.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    Job,
+    JobSpec,
+    JobState,
+    JobStateError,
+    ReconstructionService,
+)
+
+
+def icd_spec(scan, *, seed=0, priority=0, equits=1.0, job_id=None):
+    return JobSpec(
+        driver="icd",
+        scan=scan,
+        params={"max_equits": equits, "seed": seed, "track_cost": False},
+        priority=priority,
+        job_id=job_id,
+    )
+
+
+class TestLifecycle:
+    def test_job_runs_to_done(self, scan16):
+        with ReconstructionService(n_workers=1) as svc:
+            job_id = svc.submit(icd_spec(scan16))
+            result = svc.result(job_id, timeout=120)
+            assert result.image.shape == (16, 16)
+            status = svc.status(job_id)
+        assert status["state"] == "DONE"
+        assert status["iteration"] >= 1
+        assert status["checkpoints"] >= 1  # CHECKPOINTED events were recorded
+        assert status["equits"] > 0
+
+    def test_invalid_transitions_raise_typed_error(self, scan16):
+        job = Job("j", JobSpec(driver="icd", scan=scan16))
+        job.transition(JobState.DONE)  # cache-hit fast path is legal
+        with pytest.raises(JobStateError):
+            job.transition(JobState.RUNNING)
+
+    def test_terminal_states_are_final(self, scan16):
+        job = Job("j", JobSpec(driver="icd", scan=scan16))
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.FAILED, error="boom")
+        for state in JobState:
+            with pytest.raises(JobStateError):
+                job.transition(state)
+
+    def test_unknown_job_id(self, scan16):
+        from repro.service import UnknownJobError
+
+        with ReconstructionService(n_workers=1, start=False) as svc:
+            with pytest.raises(UnknownJobError):
+                svc.status("nope")
+
+    def test_duplicate_active_job_id_rejected(self, scan16):
+        with ReconstructionService(n_workers=1, start=False) as svc:
+            svc.submit(icd_spec(scan16, job_id="same"))
+            with pytest.raises(JobStateError):
+                svc.submit(icd_spec(scan16, seed=1, job_id="same"))
+
+
+class TestAcceptance:
+    def test_mixed_priority_queue_respects_priorities(self, scan16):
+        """>= 8 mixed-priority jobs: execution order == (-priority, seq)."""
+        priorities = [0, 5, 2, 5, 1, 0, 3, 2, 4]
+        svc = ReconstructionService(n_workers=1, start=False)
+        try:
+            submitted = []  # (priority, submission index, job_id)
+            for i, prio in enumerate(priorities):
+                job_id = svc.submit(icd_spec(scan16, seed=100 + i, priority=prio))
+                submitted.append((prio, i, job_id))
+            # one extra duplicate of the highest-priority job, lowest priority:
+            # it runs last, after the original finished, and must be deduped.
+            dup_of = submitted[1]
+            dup_id = svc.submit(icd_spec(scan16, seed=101, priority=-1))
+
+            svc.start()
+            assert svc.drain(timeout=300)
+
+            for _, _, job_id in submitted:
+                assert svc.status(job_id)["state"] == "DONE"
+
+            ran = [j for j in svc.jobs if not j.from_cache]
+            observed = sorted(ran, key=lambda j: j.started_at)
+            assert [j.job_id for j in observed] == [
+                job_id
+                for _, _, job_id in sorted(submitted, key=lambda t: (-t[0], t[1]))
+            ]
+
+            dup_status = svc.status(dup_id)
+            assert dup_status["state"] == "DONE"
+            assert dup_status["from_cache"] is True
+            np.testing.assert_array_equal(
+                svc.result(dup_id).image, svc.result(dup_of[2]).image
+            )
+
+            counters = svc.report()["counters"]
+            assert counters["service.jobs_submitted"] == len(priorities) + 1
+            assert counters["service.jobs_completed"] == len(priorities) + 1
+            assert counters["service.jobs_deduped"] == 1
+            assert counters["service.queue_depth_peak"] == len(priorities) + 1
+            assert counters["service.queue_wait_s"] > 0
+        finally:
+            svc.close()
+
+    def test_concurrent_workers_complete_all_jobs(self, scan16):
+        with ReconstructionService(n_workers=3) as svc:
+            ids = [svc.submit(icd_spec(scan16, seed=s)) for s in range(6)]
+            assert svc.drain(timeout=300)
+            assert all(svc.status(j)["state"] == "DONE" for j in ids)
+
+    def test_all_three_drivers_accepted(self, scan16):
+        specs = [
+            JobSpec(driver="icd", scan=scan16,
+                    params={"max_equits": 1.0, "track_cost": False}),
+            JobSpec(driver="psv_icd", scan=scan16,
+                    params={"max_equits": 1.0, "sv_side": 6, "track_cost": False}),
+            JobSpec(driver="gpu_icd", scan=scan16,
+                    params={"max_equits": 1.0, "sv_side": 8, "batch_size": 4,
+                            "track_cost": False}),
+        ]
+        with ReconstructionService(n_workers=2) as svc:
+            ids = [svc.submit(s) for s in specs]
+            for job_id in ids:
+                assert svc.result(job_id, timeout=300).image.shape == (16, 16)
+
+
+class TestProgressStream:
+    def test_iteration_and_checkpoint_events_fire(self, scan16):
+        events = []
+        lock = threading.Lock()
+
+        def on_progress(event):
+            with lock:
+                events.append(event)
+
+        with ReconstructionService(n_workers=1) as svc:
+            job_id = svc.submit(icd_spec(scan16, equits=2.0), on_progress=on_progress)
+            svc.result(job_id, timeout=120)
+
+        kinds = {e.kind for e in events}
+        assert kinds == {"iteration", "checkpoint"}
+        iters = [e.iteration for e in events if e.kind == "iteration"]
+        assert iters == sorted(iters) and iters[0] == 1
+        assert all(e.job_id == job_id for e in events)
+        assert all(e.duration_s > 0 for e in events if e.kind == "iteration")
+
+    def test_service_wide_subscriber_sees_all_jobs(self, scan16):
+        seen = set()
+        svc = ReconstructionService(
+            n_workers=1, on_progress=lambda e: seen.add(e.job_id)
+        )
+        try:
+            ids = [svc.submit(icd_spec(scan16, seed=s)) for s in range(2)]
+            assert svc.drain(timeout=120)
+        finally:
+            svc.close()
+        assert seen == set(ids)
+
+    def test_job_metrics_report_attached(self, scan16):
+        with ReconstructionService(n_workers=1) as svc:
+            job_id = svc.submit(icd_spec(scan16))
+            svc.result(job_id, timeout=120)
+            job = svc.job(job_id)
+        totals = job.metrics.span_totals()
+        assert "iteration" in totals
+        assert job.metrics.counters["checkpoint.saves"] >= 1
