@@ -28,22 +28,65 @@ Backends
 * :class:`ThreadBackend` — ``concurrent.futures.ThreadPoolExecutor``; the
   per-voxel math is NumPy-heavy enough that this mostly tests real
   interleavings rather than buying speed under the GIL.
-* :class:`ProcessBackend` — ``ProcessPoolExecutor`` with a per-worker
-  initializer that rebuilds the slice state once (system matrix, fused
-  weights, SuperVoxel grid).  Wave snapshots travel through
-  ``multiprocessing.shared_memory``: the backend publishes ``x``/``e``
-  **once per wave** and tasks ship only the segment name plus offsets, so
-  per-task pickling is O(1) instead of O(n_voxels + sinogram).
+* :class:`ProcessBackend` — ``ProcessPoolExecutor`` over persistent
+  shared-memory arenas (see below).
+
+How the hot path stays hot
+--------------------------
+The first backend generation submitted one future per SV and republished
+the snapshots to a fresh shared-memory segment every wave; at realistic
+sizes the dispatch/pickle/attach overhead swamped the compute and the
+"parallel" backends lost to inline.  The current design removes every
+per-SV and per-wave fixed cost:
+
+* **whole-wave batching** — a wave is split into contiguous *shards*, one
+  per worker by default (capped at ``wave_batch`` SVs when set).  One
+  future per shard: dispatch and pickling are O(workers), not O(SVs).
+  :func:`make_wave_tasks` remains the single seed-truth source, so shard
+  composition cannot change the iterates.
+* **persistent snapshot arenas** (process) — one ``x``/``e`` arena sized
+  to the volume is created at first use and *reused* for every subsequent
+  wave: the parent memcpys the wave snapshot in; workers attach once per
+  segment name and cache the mapping.  No per-wave create/unlink, no
+  per-task attach.
+* **shared-memory result transport** (process) — workers write each SV's
+  new voxel values and SVB delta into a preassigned span of a result
+  arena (offsets are computed in the parent; parent and worker grids are
+  deterministic and therefore identical) and return only per-SV stats
+  tuples, so results are not pickled either.
+* **one snapshot copy per shard** — a shard shares a single private
+  ``x`` copy; after each SV the touched entries are restored from the
+  snapshot (``process_supervoxel`` writes ``x`` only at ``sv.voxels``),
+  which is bit-identical to a fresh copy at O(sv) instead of O(n_voxels).
+* **fused numba waves by default** — whenever numba is importable and the
+  tasks carry ``kernel="numba"`` (what ``kernel="auto"`` resolves to), a
+  shard runs as one ``prange``-parallel compiled call
+  (:func:`repro.core.kernels.run_wave_fused`) in every backend, serial
+  and workers alike.
+* **pipelined waves** — :meth:`run_waves` executes a list of consecutive
+  waves two-deep: while workers compute wave ``k``, the parent applies
+  wave ``k-1``'s deltas to the caller's ``x``/``e``.  Snapshots alternate
+  between two arena slots (double buffering); each slot catches up to the
+  exact post-merge state of the previous wave by replaying the recorded
+  per-SV delta lists in the same ascending-SV order the plain merge uses,
+  so the pipeline only *defers* float operations and never reorders them
+  — iterates are bit-identical to sequential :meth:`run_wave` calls.
+  Drivers expose this as ``pipeline=True``.
 
 All backends are context managers with idempotent :meth:`close`; the pool
 backends accept a per-wave ``wave_timeout`` and recover from worker
-crashes by recomputing the failed SVs inline (bit-identical, because tasks
-carry their own seeds and workers only ever see the shared snapshot).
+crashes by recomputing the failed shards inline (bit-identical, because
+tasks carry their own seeds and workers only ever see the shared
+snapshot).  The process backend keeps an explicit registry of every
+shared-memory segment it creates and closes+unlinks them all in
+:meth:`close` (with a ``weakref.finalize`` backstop), so crashed workers
+cannot leak ``/dev/shm`` segments.
 
 Instrumentation: ``run_wave(tasks, x, e, metrics=...)`` accepts a
 :class:`~repro.observability.MetricsRecorder` and wraps the three wave
 phases in the same ``extract`` / ``update`` / ``merge`` spans the inline
-drivers emit, so profiles of inline and backend runs line up one-to-one.
+drivers emit, so profiles of inline and backend runs line up one-to-one
+(:meth:`run_waves` additionally wraps each wave in a ``wave`` span).
 
 Seeding: per-SV streams derive from ``np.random.SeedSequence(entropy=
 base_seed, spawn_key=(sv_index,))`` — the spawn-key construction NumPy
@@ -62,10 +105,12 @@ provably exercised by tests rather than trusted on faith.
 from __future__ import annotations
 
 import concurrent.futures
+import gc
 import pickle
 import time
+import weakref
 from dataclasses import dataclass
-from multiprocessing import shared_memory
+from multiprocessing import get_start_method, shared_memory
 
 import numpy as np
 
@@ -123,7 +168,9 @@ def make_wave_tasks(
     The single place a wave turns ``(base_seed, sv_indices)`` into seeded
     :class:`SVWaveTask` objects — the drivers, :func:`run_wave`, and the
     tests all derive per-SV streams through here, so the seeding scheme
-    cannot drift between call sites.
+    cannot drift between call sites.  Shard composition downstream (how a
+    backend splits the wave across workers) cannot change the iterates
+    because every task already carries its own stream.
     """
     return [
         SVWaveTask(
@@ -159,6 +206,122 @@ class SVWaveResult:
     stats: SVUpdateStats
 
 
+def _inject_local_fault(fault_injection: tuple | None, sv_index: int) -> None:
+    """Apply a ``(mode, svs, seconds)`` fault spec inside a thread worker."""
+    if not fault_injection:
+        return
+    mode, svs, seconds = fault_injection
+    if sv_index in svs:
+        if mode == "crash":
+            raise RuntimeError(f"injected worker crash on SV {sv_index}")
+        if mode == "stall":
+            time.sleep(seconds)
+
+
+def _fused_results(
+    tasks: "list[SVWaveTask]",
+    updater: SliceUpdater,
+    grid: SuperVoxelGrid,
+    x_snapshot: np.ndarray,
+    e_snapshot: np.ndarray,
+) -> "list[SVWaveResult]":
+    """All-numba shard via :func:`repro.core.kernels.run_wave_fused`.
+
+    Visit orders are drawn here from each task's seed, exactly as
+    :func:`process_supervoxel` would, so the fused wave consumes the same
+    RNG streams and produces the same iterates as per-task execution.
+    """
+    ctx = updater.context()
+    svs = [grid.svs[t.sv_index] for t in tasks]
+    orders = [resolve_rng(t.seed).permutation(sv.n_voxels) for t, sv in zip(tasks, svs)]
+    out = kernels.run_wave_fused(
+        ctx,
+        grid,
+        [t.sv_index for t in tasks],
+        orders,
+        x_snapshot,
+        e_snapshot,
+        zero_skip_flags=[t.zero_skip for t in tasks],
+        stale_widths=[t.stale_width for t in tasks],
+    )
+    results = []
+    for t, sv, (xvals, svb_delta, updates, skipped, tad) in zip(tasks, svs, out):
+        results.append(
+            SVWaveResult(
+                sv_index=t.sv_index,
+                voxel_indices=sv.voxels,
+                voxel_values=xvals,
+                svb_delta=svb_delta,
+                stats=SVUpdateStats(
+                    sv_index=sv.index,
+                    updates=updates,
+                    skipped=skipped,
+                    total_abs_delta=tad,
+                ),
+            )
+        )
+    return results
+
+
+def _run_task_list(
+    tasks: "list[SVWaveTask]",
+    updater: SliceUpdater,
+    grid: SuperVoxelGrid,
+    x_snapshot: np.ndarray,
+    e_snapshot: np.ndarray,
+    fault_injection: tuple | None = None,
+    fault=_inject_local_fault,
+) -> "list[SVWaveResult]":
+    """Process a shard of wave tasks against one shared snapshot pair.
+
+    The single compute loop every backend funnels through — the serial
+    path, thread-pool shards, process workers, and the inline-fallback
+    recovery all call this, so they cannot drift numerically.
+
+    One private ``x`` copy serves the whole shard: ``process_supervoxel``
+    writes ``x`` only at ``sv.voxels``, so restoring those entries from
+    the snapshot after each SV re-establishes the exact snapshot state —
+    bit-identical to a fresh copy per SV, at O(sv) instead of
+    O(n_voxels).  When every task resolved to the numba kernel, the whole
+    shard runs as one ``prange``-parallel fused call instead.
+    """
+    if not tasks:
+        return []
+    if kernels.HAVE_NUMBA and all(t.kernel == "numba" for t in tasks):
+        for t in tasks:
+            fault(fault_injection, t.sv_index)
+        return _fused_results(tasks, updater, grid, x_snapshot, e_snapshot)
+    results: list[SVWaveResult] = []
+    x_local = x_snapshot.copy()
+    for task in tasks:
+        fault(fault_injection, task.sv_index)
+        sv = grid.svs[task.sv_index]
+        svb = sv.extract(e_snapshot)
+        orig = svb.copy()
+        stats = process_supervoxel(
+            sv,
+            updater,
+            x_local,
+            svb,
+            rng=task.seed,
+            zero_skip=task.zero_skip,
+            stale_width=task.stale_width,
+            kernel=task.kernel,
+        )
+        np.subtract(svb, orig, out=orig)  # orig becomes the SVB delta
+        results.append(
+            SVWaveResult(
+                sv_index=task.sv_index,
+                voxel_indices=sv.voxels,
+                voxel_values=x_local[sv.voxels],
+                svb_delta=orig,
+                stats=stats,
+            )
+        )
+        x_local[sv.voxels] = x_snapshot[sv.voxels]
+    return results
+
+
 def _process_one(
     task: SVWaveTask,
     updater: SliceUpdater,
@@ -166,42 +329,26 @@ def _process_one(
     x_snapshot: np.ndarray,
     e_snapshot: np.ndarray,
 ) -> SVWaveResult:
-    """Process one SV against private snapshot copies."""
-    sv = grid.svs[task.sv_index]
-    x_local = x_snapshot.copy()
-    svb = sv.extract(e_snapshot)
-    orig = svb.copy()
-    stats = process_supervoxel(
-        sv,
-        updater,
-        x_local,
-        svb,
-        rng=task.seed,
-        zero_skip=task.zero_skip,
-        stale_width=task.stale_width,
-        kernel=task.kernel,
-    )
-    return SVWaveResult(
-        sv_index=task.sv_index,
-        voxel_indices=sv.voxels.copy(),
-        voxel_values=x_local[sv.voxels],
-        svb_delta=svb - orig,
-        stats=stats,
-    )
+    """Process one SV against private snapshot copies (single-task shard)."""
+    return _run_task_list([task], updater, grid, x_snapshot, e_snapshot)[0]
 
 
 def _merge(
-    results: list[SVWaveResult],
+    results: "list[SVWaveResult]",
     grid: SuperVoxelGrid,
     x: np.ndarray,
     e: np.ndarray,
     x_snapshot: np.ndarray,
-) -> list[SVUpdateStats]:
+) -> "list[SVUpdateStats]":
     """Apply all wave deltas to the shared state (the wave barrier).
 
     ``results`` must already be in merge order (ascending SV index): shared
     boundary voxels accumulate several float deltas, so the order is part
-    of the cross-backend bit-identity contract.
+    of the cross-backend bit-identity contract.  Both scatters use plain
+    fancy ``+=``: an SV's own voxel indices are unique, and so are its
+    valid gather indices (checked at grid construction), which makes the
+    in-place add bit-identical to ``np.add.at`` without its slow
+    unbuffered loop.
     """
     stats = []
     for res in results:
@@ -210,10 +357,195 @@ def _merge(
         # voxels shared between wave SVs accumulate both deltas).
         x[res.voxel_indices] += res.voxel_values - x_snapshot[res.voxel_indices]
         # Error sinogram: add the SVB delta back through the gather map.
-        valid = sv.gather_idx >= 0
-        np.add.at(e, sv.gather_idx[valid], res.svb_delta[valid])
+        e[sv.valid_gather] += res.svb_delta[sv.valid_mask]
         stats.append(res.stats)
     return stats
+
+
+def _wave_deltas(
+    results: "list[SVWaveResult]", grid: SuperVoxelGrid, x_snapshot: np.ndarray
+):
+    """Freeze a wave's merge into replayable per-SV delta arrays.
+
+    The returned deltas are fresh copies (no views into reusable arenas):
+    applying them with :func:`_apply_deltas` performs exactly the float
+    operations :func:`_merge` would, in the same order, which is what lets
+    the pipelined path defer and replay merges without changing iterates.
+    """
+    deltas = []
+    stats = []
+    for res in results:
+        sv = grid.svs[res.sv_index]
+        deltas.append(
+            (
+                res.voxel_indices,
+                res.voxel_values - x_snapshot[res.voxel_indices],
+                sv.valid_gather,
+                res.svb_delta[sv.valid_mask],
+            )
+        )
+        stats.append(res.stats)
+    return deltas, stats
+
+
+def _apply_deltas(deltas, x: np.ndarray, e: np.ndarray) -> None:
+    """Replay one wave's frozen deltas onto ``x``/``e`` (see _wave_deltas)."""
+    for vox, dx, gather, de in deltas:
+        x[vox] += dx
+        e[gather] += de
+
+
+def _future_result(fut, deadline):
+    """``(ok, value)`` from a future, catching in a view-free frame.
+
+    Failure exceptions (``BrokenProcessPool``, timeouts) keep their
+    traceback — and with it every frame they propagated through — alive
+    for as long as the executor references them.  Catching here, in a
+    frame whose locals hold no arena views, keeps a failed wave from
+    pinning snapshot/result buffers past :meth:`close` (which would turn
+    the segments' ``close()`` into ``BufferError``).
+    """
+    try:
+        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+        return True, fut.result(timeout=remaining)
+    except Exception:
+        fut.cancel()
+        return False, None
+
+
+def _shard_tasks(tasks, n_workers: int, wave_batch: int | None):
+    """Split a wave into contiguous shards.
+
+    One shard per worker by default (dispatch cost O(workers)); setting
+    ``wave_batch`` caps the shard size instead, trading dispatch overhead
+    for scheduling granularity.  Sharding never affects iterates — each
+    task carries its own seed and all shards read the same snapshot.
+    """
+    if not tasks:
+        return []
+    if wave_batch is not None:
+        size = int(wave_batch)
+    else:
+        size = -(-len(tasks) // n_workers)
+    return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+
+
+class _SnapshotSlot:
+    """One x/e snapshot buffer, optionally backed by a shared segment.
+
+    The pipelined path double-buffers two of these; ``applied`` tracks the
+    index of the last wave whose deltas this slot has absorbed (``-1`` =
+    the caller's state before wave 0, ``None`` = not yet initialised).
+    """
+
+    def __init__(self, n_x: int, n_e: int, shm: shared_memory.SharedMemory | None = None):
+        self.n_x = int(n_x)
+        self.n_e = int(n_e)
+        self.shm = shm
+        if shm is None:
+            buf = np.empty(n_x + n_e, dtype=np.float64)
+        else:
+            buf = np.frombuffer(shm.buf, dtype=np.float64, count=n_x + n_e)
+        self._buf = buf
+        self.x = buf[:n_x]
+        self.e = buf[n_x:]
+        self.applied: int | None = None
+
+    @classmethod
+    def view(cls, x: np.ndarray, e: np.ndarray) -> "_SnapshotSlot":
+        """Adopt existing snapshot arrays without copying (thread path)."""
+        slot = object.__new__(cls)
+        slot.n_x, slot.n_e = x.size, e.size
+        slot.shm = None
+        slot._buf = None
+        slot.x, slot.e = x, e
+        slot.applied = None
+        return slot
+
+    def fill(self, x: np.ndarray, e: np.ndarray) -> None:
+        np.copyto(self.x, x)
+        np.copyto(self.e, e)
+
+    def copy_from(self, other: "_SnapshotSlot") -> None:
+        np.copyto(self.x, other.x)
+        np.copyto(self.e, other.e)
+        self.applied = other.applied
+
+    def release(self) -> None:
+        """Drop the numpy views so the backing segment can close cleanly."""
+        self.x = self.e = self._buf = None
+
+
+def _sync_slot(slot: _SnapshotSlot, k: int, slots, x, e, delta_log) -> None:
+    """Bring ``slot`` to the exact post-merge state of wave ``k - 1``.
+
+    A freshly rotated slot holds the post-state of wave ``k - 2`` (it was
+    wave ``k - 1``'s snapshot); replaying the recorded delta lists for the
+    missing waves — the same arrays, same ascending-SV order as the plain
+    merge — closes the gap bit-identically.
+    """
+    target = k - 1
+    if slot.applied is None:
+        if k == 0:
+            slot.fill(x, e)  # the caller's state *is* the pre-wave-0 state
+            slot.applied = -1
+        else:
+            slot.copy_from(slots[(k - 1) % len(slots)])
+    for j in range(slot.applied + 1, target + 1):
+        _apply_deltas(delta_log[j], slot.x, slot.e)
+        slot.applied = j
+
+
+def _run_waves_pipelined(backend, waves, x, e, metrics) -> "list[list[SVUpdateStats]]":
+    """Two-deep pipelined execution of consecutive waves (see module doc).
+
+    Wave ``k + 1`` must start from the exact post-merge state of wave
+    ``k``, so the pipeline never *reorders* float operations — it only
+    defers applying wave ``k``'s deltas to the caller's ``x``/``e`` until
+    after wave ``k + 1`` has been dispatched, keeping the dispatch gap
+    busy with the merge instead of idling the workers.
+    """
+    backend._check_open()
+    rec = as_recorder(metrics)
+    if not waves:
+        return []
+    slots = backend._pipeline_slots(x.size, e.size, min(2, len(waves)))
+    for slot in slots:
+        slot.applied = None
+    delta_log: dict[int, list] = {}
+    all_stats: list[list[SVUpdateStats]] = []
+    pending = None  # (wave index, frozen deltas, stats) awaiting x/e merge
+    x_applied = -1
+    for k, tasks in enumerate(waves):
+        slot = slots[k % len(slots)]
+        with rec.span("wave", svs=len(tasks)):
+            with rec.span("extract"):
+                _sync_slot(slot, k, slots, x, e, delta_log)
+            dispatched = backend._dispatch(tasks, slot)
+            if pending is not None:
+                # Overlap: workers compute wave k while the caller's x/e
+                # absorb wave k-1.
+                j, deltas, stats = pending
+                with rec.span("merge"):
+                    _apply_deltas(deltas, x, e)
+                x_applied = j
+                all_stats.append(stats)
+                pending = None
+            with rec.span("update"):
+                results = backend._collect(dispatched, slot, rec)
+            results.sort(key=lambda r: r.sv_index)
+            deltas, stats = _wave_deltas(results, backend.grid, slot.x)
+            delta_log[k] = deltas
+            pending = (k, deltas, stats)
+        # Deltas already absorbed by x/e *and* every slot are dead.
+        low = min([x_applied] + [s.applied for s in slots if s.applied is not None])
+        for j in [j for j in delta_log if j <= low]:
+            del delta_log[j]
+    j, deltas, stats = pending
+    with rec.span("merge"):
+        _apply_deltas(deltas, x, e)
+    all_stats.append(stats)
+    return all_stats
 
 
 class SerialBackend:
@@ -228,8 +560,8 @@ class SerialBackend:
 
     # ------------------------------------------------------------------
     def run_wave(
-        self, tasks: list[SVWaveTask], x: np.ndarray, e: np.ndarray, *, metrics=None
-    ) -> list[SVUpdateStats]:
+        self, tasks: "list[SVWaveTask]", x: np.ndarray, e: np.ndarray, *, metrics=None
+    ) -> "list[SVUpdateStats]":
         """Process ``tasks`` against a common snapshot; merge; return stats.
 
         ``metrics`` optionally receives the inline drivers' wave phases:
@@ -248,56 +580,24 @@ class SerialBackend:
         with rec.span("merge"):
             return _merge(results, self.grid, x, e, x_snapshot)
 
-    def _execute(self, tasks, x_snapshot, e_snapshot, rec) -> list[SVWaveResult]:
-        if tasks and kernels.HAVE_NUMBA and all(t.kernel == "numba" for t in tasks):
-            # The whole wave runs as one prange-parallel compiled call —
-            # snapshot isolation maps 1:1 onto the kernel's per-SV x.copy().
-            return self._run_wave_fused(tasks, x_snapshot, e_snapshot)
-        return [
-            _process_one(t, self.updater, self.grid, x_snapshot, e_snapshot)
-            for t in tasks
-        ]
+    def run_waves(
+        self, waves, x: np.ndarray, e: np.ndarray, *, metrics=None
+    ) -> "list[list[SVUpdateStats]]":
+        """Run consecutive waves; returns per-wave stats lists.
 
-    def _run_wave_fused(
-        self, tasks: list[SVWaveTask], x_snapshot: np.ndarray, e_snapshot: np.ndarray
-    ) -> list[SVWaveResult]:
-        """All-numba wave via :func:`repro.core.kernels.run_wave_fused`.
-
-        Visit orders are drawn here from each task's seed, exactly as
-        :func:`process_supervoxel` would, so the fused wave consumes the
-        same RNG streams and produces the same iterates as per-task
-        execution.
+        The serial backend executes them strictly in order (nothing to
+        overlap); the pool backends override this with the two-deep
+        pipeline.  Iterates are identical either way.
         """
-        ctx = self.updater.context()
-        svs = [self.grid.svs[t.sv_index] for t in tasks]
-        orders = [resolve_rng(t.seed).permutation(sv.n_voxels) for t, sv in zip(tasks, svs)]
-        out = kernels.run_wave_fused(
-            ctx,
-            self.grid,
-            [t.sv_index for t in tasks],
-            orders,
-            x_snapshot,
-            e_snapshot,
-            zero_skip_flags=[t.zero_skip for t in tasks],
-            stale_widths=[t.stale_width for t in tasks],
-        )
-        results = []
-        for t, sv, (xvals, svb_delta, updates, skipped, tad) in zip(tasks, svs, out):
-            results.append(
-                SVWaveResult(
-                    sv_index=t.sv_index,
-                    voxel_indices=sv.voxels.copy(),
-                    voxel_values=xvals,
-                    svb_delta=svb_delta,
-                    stats=SVUpdateStats(
-                        sv_index=sv.index,
-                        updates=updates,
-                        skipped=skipped,
-                        total_abs_delta=tad,
-                    ),
-                )
-            )
-        return results
+        rec = as_recorder(metrics)
+        out = []
+        for tasks in waves:
+            with rec.span("wave", svs=len(tasks)):
+                out.append(self.run_wave(tasks, x, e, metrics=rec))
+        return out
+
+    def _execute(self, tasks, x_snapshot, e_snapshot, rec) -> "list[SVWaveResult]":
+        return _run_task_list(tasks, self.updater, self.grid, x_snapshot, e_snapshot)
 
     # ------------------------------------------------------------------
     def _check_open(self) -> None:
@@ -321,23 +621,14 @@ class SerialBackend:
         return False
 
 
-def _inject_local_fault(fault_injection: tuple | None, sv_index: int) -> None:
-    """Apply a ``(mode, svs, seconds)`` fault spec inside a thread worker."""
-    if not fault_injection:
-        return
-    mode, svs, seconds = fault_injection
-    if sv_index in svs:
-        if mode == "crash":
-            raise RuntimeError(f"injected worker crash on SV {sv_index}")
-        if mode == "stall":
-            time.sleep(seconds)
-
-
 class ThreadBackend(SerialBackend):
     """Snapshot-isolation wave execution on a thread pool.
 
-    Worker failures (a task raising) and per-wave timeouts degrade to
-    inline recomputation of the affected SVs on the calling thread —
+    The wave is split into one contiguous shard per worker (``wave_batch``
+    caps the shard size instead when set); each shard runs the shared
+    :func:`_run_task_list` loop against the same snapshot.  Worker
+    failures (a shard raising) and per-wave timeouts degrade to inline
+    recomputation of the affected shards on the calling thread —
     bit-identical to a clean run, because each task carries its own seed
     and reads only the immutable wave snapshot.  A timed-out worker thread
     cannot be killed; its result is simply discarded (it only ever touches
@@ -359,46 +650,78 @@ class ThreadBackend(SerialBackend):
         n_workers: int = 4,
         wave_timeout: float | None = None,
         fault_injection: tuple | None = None,
+        wave_batch: int | None = None,
     ) -> None:
         super().__init__(updater, grid)
         check_positive("n_workers", n_workers)
         if wave_timeout is not None:
             check_positive("wave_timeout", wave_timeout)
+        if wave_batch is not None:
+            check_positive("wave_batch", wave_batch)
         self.n_workers = int(n_workers)
         self.wave_timeout = wave_timeout
+        self.wave_batch = None if wave_batch is None else int(wave_batch)
         self.fault_injection = fault_injection
         #: tasks recomputed inline after a worker failure or wave timeout.
         self.inline_fallbacks = 0
+        self._slots: list[_SnapshotSlot] = []
         self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
 
-    def _run_task(self, task, x_snapshot, e_snapshot):
-        _inject_local_fault(self.fault_injection, task.sv_index)
-        return _process_one(task, self.updater, self.grid, x_snapshot, e_snapshot)
+    def _execute(self, tasks, x_snapshot, e_snapshot, rec) -> "list[SVWaveResult]":
+        slot = _SnapshotSlot.view(x_snapshot, e_snapshot)
+        return self._collect(self._dispatch(tasks, slot), slot, rec)
 
-    def _submit(self, task, x_snapshot, e_snapshot):
-        return self._pool.submit(self._run_task, task, x_snapshot, e_snapshot)
+    # -- pipeline protocol (shared with ProcessBackend) -----------------
+    def run_waves(self, waves, x, e, *, metrics=None):
+        """Pipelined execution of consecutive waves (bit-identical)."""
+        return _run_waves_pipelined(self, waves, x, e, metrics)
 
-    def _execute(self, tasks, x_snapshot, e_snapshot, rec) -> list[SVWaveResult]:
-        futures = [(self._submit(t, x_snapshot, e_snapshot), t) for t in tasks]
+    def _pipeline_slots(self, n_x: int, n_e: int, n_slots: int):
+        if self._slots and (self._slots[0].n_x != n_x or self._slots[0].n_e != n_e):
+            self._slots = []
+        while len(self._slots) < n_slots:
+            self._slots.append(_SnapshotSlot(n_x, n_e))
+        return self._slots[:n_slots]
+
+    def _dispatch(self, tasks, slot: _SnapshotSlot):
+        shards = _shard_tasks(tasks, self.n_workers, self.wave_batch)
+        futures = [
+            (
+                self._pool.submit(
+                    _run_task_list,
+                    shard,
+                    self.updater,
+                    self.grid,
+                    slot.x,
+                    slot.e,
+                    self.fault_injection,
+                ),
+                shard,
+            )
+            for shard in shards
+        ]
         deadline = (
             None if self.wave_timeout is None else time.monotonic() + self.wave_timeout
         )
+        return futures, deadline
+
+    def _collect(self, dispatched, slot: _SnapshotSlot, rec) -> "list[SVWaveResult]":
+        futures, deadline = dispatched
         results: list[SVWaveResult] = []
-        failed: list[SVWaveTask] = []
-        for fut, task in futures:
-            try:
-                remaining = (
-                    None if deadline is None else max(0.0, deadline - time.monotonic())
-                )
-                results.append(fut.result(timeout=remaining))
-            except Exception:
-                fut.cancel()
-                failed.append(task)
+        failed = []
+        for fut, shard in futures:
+            ok, shard_results = _future_result(fut, deadline)
+            if ok:
+                results.extend(shard_results)
+            else:
+                failed.append(shard)
         if failed:
-            self._note_failure(len(failed), rec)
-            for task in failed:
-                results.append(
-                    _process_one(task, self.updater, self.grid, x_snapshot, e_snapshot)
+            self._note_failure(sum(len(s) for s in failed), rec)
+            for shard in failed:
+                # Recompute without fault injection: the fallback must
+                # succeed where the worker (deliberately) did not.
+                results.extend(
+                    _run_task_list(shard, self.updater, self.grid, slot.x, slot.e)
                 )
         return results
 
@@ -414,19 +737,19 @@ class ThreadBackend(SerialBackend):
 
 
 # ----------------------------------------------------------------------
-# Process backend: per-worker state rebuilt once via an initializer;
-# wave snapshots travel through POSIX shared memory.
+# Process backend: per-worker state built once via an initializer; wave
+# snapshots and results travel through persistent POSIX shared memory.
 # ----------------------------------------------------------------------
 _WORKER_STATE: dict = {}
 
 
 @dataclass(frozen=True)
 class _SnapshotHandle:
-    """Where one wave's snapshots live in shared memory (ships per task).
+    """Where a wave's snapshots live in shared memory (ships per shard).
 
-    The payload a task pickles is this handle plus the :class:`SVWaveTask`
-    — a few hundred bytes — instead of the O(n_voxels + sinogram) arrays
-    the first backend implementation copied into every task.
+    The payload a shard pickles is this handle, the result-arena handle,
+    and the shard's tasks + result offsets — a few hundred bytes per SV —
+    never the snapshot or result arrays themselves.
     """
 
     shm_name: str
@@ -434,18 +757,27 @@ class _SnapshotHandle:
     n_e: int
 
 
+@dataclass(frozen=True)
+class _ResultHandle:
+    """Where a wave's outputs go: one float64 scratch arena, parent-sized."""
+
+    shm_name: str
+    n_floats: int
+
+
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without resource-tracker registration.
 
-    The parent owns the segment's lifecycle (it creates, closes and unlinks
-    it once per wave); CPython < 3.13 has no ``track=False``, and attaching
-    registers unconditionally (bpo-39959).  With forked workers the tracker
-    process is *shared*, so a worker-side ``unregister`` after attach would
-    delete the parent's registration and make every later un/register for
-    the name a tracker error.  Suppressing registration during the attach
-    leaves exactly one owner — the parent — whichever start method is in
-    use.  Workers are single-threaded, so the temporary patch cannot leak
-    into a concurrent register call.
+    The parent owns every segment's lifecycle (it creates them, keeps a
+    registry, and closes+unlinks them in ``close()``); CPython < 3.13 has
+    no ``track=False``, and attaching registers unconditionally
+    (bpo-39959).  With forked workers the tracker process is *shared*, so
+    a worker-side ``unregister`` after attach would delete the parent's
+    registration and make every later un/register for the name a tracker
+    error.  Suppressing registration during the attach leaves exactly one
+    owner — the parent — whichever start method is in use.  Workers are
+    single-threaded, so the temporary patch cannot leak into a concurrent
+    register call.
     """
     from multiprocessing import resource_tracker
 
@@ -462,34 +794,63 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
-def _publish_snapshots(
-    x_snapshot: np.ndarray, e_snapshot: np.ndarray
-) -> tuple[shared_memory.SharedMemory, _SnapshotHandle]:
-    """Copy the wave snapshots into one fresh shared-memory segment."""
-    n_x, n_e = x_snapshot.size, e_snapshot.size
-    shm = shared_memory.SharedMemory(create=True, size=max(1, (n_x + n_e) * 8))
-    buf = np.frombuffer(shm.buf, dtype=np.float64, count=n_x + n_e)
-    buf[:n_x] = x_snapshot
-    buf[n_x:] = e_snapshot
-    del buf  # drop the exported view so shm.close() cannot raise BufferError
-    return shm, _SnapshotHandle(shm_name=shm.name, n_x=n_x, n_e=n_e)
+def _release_segments(segments: dict) -> None:
+    """Close and unlink every registered segment (idempotent, never raises).
+
+    The explicit unlink is the leak bookkeeping: even if a lingering numpy
+    view makes ``close()`` raise ``BufferError``, the ``unlink`` still
+    removes the ``/dev/shm`` entry, so crashed workers or dropped backends
+    cannot strand segments on disk.  A ``BufferError`` usually means views
+    are pinned by an uncollected reference cycle (a failed wave's
+    exception traceback); one garbage-collection pass frees them, so the
+    mapping itself closes too instead of lingering until ``__del__``.
+    """
+    pending = list(segments.values())
+    segments.clear()
+    retry = []
+    for shm in pending:
+        try:
+            shm.close()
+        except BufferError:
+            retry.append(shm)
+        except Exception:
+            pass
+    if retry:
+        gc.collect()
+        for shm in retry:
+            try:
+                shm.close()
+            except Exception:
+                pass
+    for shm in pending:
+        try:
+            shm.unlink()
+        except Exception:
+            pass
 
 
-def _worker_init(
-    scan: ScanData,
-    system: SystemMatrix,
-    prior: Prior,
-    sv_side: int,
-    overlap: int,
-    positivity: bool,
-    fault_injection: tuple | None = None,
-) -> None:
-    neighborhood = shared_neighborhood(system.geometry.n_pixels)
-    updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
-    grid = SuperVoxelGrid(system, sv_side, overlap=overlap)
-    _WORKER_STATE["updater"] = updater
-    _WORKER_STATE["grid"] = grid
-    _WORKER_STATE["fault_injection"] = fault_injection
+def _worker_init(state) -> None:
+    """Build (or adopt) the per-worker slice state once at pool start.
+
+    ``state`` is ``("direct", updater, grid, fault_injection)`` under the
+    fork start method — the parent's prebuilt objects are inherited
+    copy-on-write, so pool start is free even when the system matrix is
+    hundreds of MB — or ``("rebuild", scan, system, prior, sv_side,
+    overlap, positivity, fault_injection)`` for spawn-style pools, where
+    the worker rebuilds from picklable parts.  Both paths yield identical
+    state: the grid build is deterministic.
+    """
+    if state[0] == "direct":
+        _, updater, grid, fault_injection = state
+    else:
+        _, scan, system, prior, sv_side, overlap, positivity, fault_injection = state
+        neighborhood = shared_neighborhood(system.geometry.n_pixels)
+        updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
+        grid = SuperVoxelGrid(system, sv_side, overlap=overlap)
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(
+        updater=updater, grid=grid, fault_injection=fault_injection, segments={}
+    )
 
 
 def _maybe_inject_fault(sv_index: int) -> None:
@@ -507,54 +868,92 @@ def _maybe_inject_fault(sv_index: int) -> None:
             time.sleep(seconds)
 
 
-def _worker_process_shm(task: SVWaveTask, handle: _SnapshotHandle) -> SVWaveResult:
-    """Process one task against the shared-memory wave snapshots.
+def _worker_fault(_spec, sv_index: int) -> None:
+    """Adapter: route `_run_task_list`'s fault hook to the process spec."""
+    _maybe_inject_fault(sv_index)
 
-    The worker never writes to the segment (``_process_one`` copies ``x``
-    and extracts the SVB), and every array in the returned
-    :class:`SVWaveResult` is freshly allocated, so all views are dropped
-    before the mapping closes.
+
+def _worker_view(name: str, n_floats: int) -> np.ndarray:
+    """Float64 view of a segment, attaching (once, cached) by name.
+
+    Segment names are never reused by the parent, so a cached attachment
+    can never go stale; superseded result arenas stay mapped until the
+    worker exits (a bounded handful of generations — the arena only grows).
     """
-    _maybe_inject_fault(task.sv_index)
-    shm = _attach_untracked(handle.shm_name)
-    try:
-        buf = np.frombuffer(shm.buf, dtype=np.float64, count=handle.n_x + handle.n_e)
-        x_snapshot = buf[: handle.n_x]
-        e_snapshot = buf[handle.n_x :]
-        result = _process_one(
-            task, _WORKER_STATE["updater"], _WORKER_STATE["grid"], x_snapshot, e_snapshot
-        )
-        del buf, x_snapshot, e_snapshot
-        return result
-    finally:
-        shm.close()
+    segments = _WORKER_STATE.setdefault("segments", {})
+    shm = segments.get(name)
+    if shm is None:
+        shm = _attach_untracked(name)
+        segments[name] = shm
+    return np.frombuffer(shm.buf, dtype=np.float64, count=n_floats)
+
+
+def _worker_run_shard(tasks, spans, snap: _SnapshotHandle, res: _ResultHandle):
+    """Process one shard of a wave inside a worker process.
+
+    Reads the x/e snapshot from the persistent snapshot arena, runs the
+    shard through the same :func:`_run_task_list` loop the parent uses,
+    and writes each SV's new voxel values and SVB delta into its
+    preassigned ``(vox_off, delta_off)`` span of the result arena.
+    Returns only per-SV ``(sv_index, updates, skipped, total_abs_delta)``
+    tuples — the arrays travel through shared memory, not pickle.
+    """
+    buf = _worker_view(snap.shm_name, snap.n_x + snap.n_e)
+    out = _worker_view(res.shm_name, res.n_floats)
+    x_snapshot = buf[: snap.n_x]
+    e_snapshot = buf[snap.n_x :]
+    results = _run_task_list(
+        tasks,
+        _WORKER_STATE["updater"],
+        _WORKER_STATE["grid"],
+        x_snapshot,
+        e_snapshot,
+        fault_injection=_WORKER_STATE.get("fault_injection"),
+        fault=_worker_fault,
+    )
+    stats_out = []
+    for result, (vox_off, delta_off) in zip(results, spans):
+        out[vox_off : vox_off + result.voxel_values.size] = result.voxel_values
+        out[delta_off : delta_off + result.svb_delta.size] = result.svb_delta
+        s = result.stats
+        stats_out.append((result.sv_index, s.updates, s.skipped, s.total_abs_delta))
+    return stats_out
 
 
 class ProcessBackend:
     """Snapshot-isolation wave execution on a process pool.
 
-    Workers rebuild the slice state (system matrix, fused products, grid)
-    once at pool start.  Per wave, the two snapshots are published once to
-    a shared-memory segment; each task ships only its
-    :class:`_SnapshotHandle` (name + offsets), and workers return deltas.
+    Workers adopt the parent's slice state for free under fork (or rebuild
+    it once from picklable parts under spawn).  Snapshots live in
+    *persistent* shared-memory arenas created at first use and reused for
+    every wave — per wave the parent only memcpys ``x``/``e`` in; workers
+    attach once per segment and cache the mapping.  The wave is dispatched
+    as one shard per worker (``wave_batch`` caps shard size); workers
+    write voxel values and SVB deltas into a shared result arena at
+    parent-assigned offsets and return only stats, so neither snapshots
+    nor results are ever pickled.
 
     Robustness: a worker crash (the pool breaks) or a wave running past
     ``wave_timeout`` seconds degrades to inline recomputation of the
-    affected SVs in the parent — bit-identical to a clean run — and the
+    affected shards in the parent — bit-identical to a clean run — and the
     broken pool is replaced before the next wave.  :meth:`close` is
-    idempotent and the class is a context manager, so a dying pool cannot
-    wedge a reconstruction.
+    idempotent, unlinks every shared segment the backend ever created
+    (with a ``weakref.finalize`` backstop for unclosed backends), and the
+    class is a context manager, so a dying pool cannot wedge a
+    reconstruction or leak ``/dev/shm`` entries.
 
     Parameters
     ----------
     scan, system, prior:
-        The slice state workers rebuild (must be picklable).
+        The slice state workers rebuild under spawn (must be picklable).
     sv_side, overlap, positivity:
         Grid/updater parameters; must match the driver's grid.
     n_workers:
         Pool size.
     wave_timeout:
         Optional per-wave wall-clock budget in seconds.
+    wave_batch:
+        Optional shard-size cap (default: one shard per worker).
     updater, grid:
         Optional prebuilt local mirror (used for merging and inline
         fallback); built from the other arguments when omitted.
@@ -579,6 +978,7 @@ class ProcessBackend:
         positivity: bool = True,
         n_workers: int = 2,
         wave_timeout: float | None = None,
+        wave_batch: int | None = None,
         updater: SliceUpdater | None = None,
         grid: SuperVoxelGrid | None = None,
         fault_injection: tuple | None = None,
@@ -587,28 +987,51 @@ class ProcessBackend:
         check_positive("n_workers", n_workers)
         if wave_timeout is not None:
             check_positive("wave_timeout", wave_timeout)
+        if wave_batch is not None:
+            check_positive("wave_batch", wave_batch)
         if fault_injection is None:
             fault_injection = _fault_injection
         if updater is None:
             neighborhood = shared_neighborhood(system.geometry.n_pixels)
             updater = SliceUpdater(system, scan, prior, neighborhood, positivity=positivity)
         # Local mirror for merging and inline fallback (the grid is
-        # deterministic, so the workers' rebuild matches it exactly).
+        # deterministic, so the workers' build matches it exactly).
         self.updater = updater
         self.grid = grid if grid is not None else SuperVoxelGrid(system, sv_side, overlap=overlap)
         self.n_workers = int(n_workers)
         self.wave_timeout = wave_timeout
+        self.wave_batch = None if wave_batch is None else int(wave_batch)
         #: tasks recomputed inline after worker crashes / wave timeouts.
         self.inline_fallbacks = 0
         #: pools discarded after a crash or timeout.
         self.pools_rebuilt = 0
-        #: pickled bytes per task of the last wave (task + snapshot handle).
+        #: pickled bytes per task of the last wave (tasks + arena handles,
+        #: amortised over the shard — never the arrays).
         self.last_task_payload_bytes = 0
         self._closed = False
-        self._initargs = (scan, system, prior, sv_side, overlap, positivity, fault_injection)
+        if get_start_method() == "fork":
+            # Fork inherits the parent's objects copy-on-write: zero-copy
+            # worker init even with a multi-hundred-MB system matrix.
+            self._initargs = (("direct", self.updater, self.grid, fault_injection),)
+        else:
+            self._initargs = (
+                ("rebuild", scan, system, prior, sv_side, overlap, positivity, fault_injection),
+            )
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        #: already-unlinked mappings whose close() is deferred until the
+        #: views pinning them die (see _drop_segment).
+        self._retired: dict[str, shared_memory.SharedMemory] = {}
+        self._slots: list[_SnapshotSlot] = []
+        self._result_shm: shared_memory.SharedMemory | None = None
+        self._result_view: np.ndarray | None = None
+        self._result_capacity = 0
+        # GC backstop: an un-closed backend still unlinks its segments.
+        self._finalizer = weakref.finalize(self, _release_segments, self._segments)
+        self._retired_finalizer = weakref.finalize(self, _release_segments, self._retired)
         self._make_pool()
 
+    # -- pool / arena plumbing ------------------------------------------
     def _make_pool(self) -> None:
         self._pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=self.n_workers,
@@ -623,75 +1046,181 @@ class ProcessBackend:
             self._pool = None
             self.pools_rebuilt += 1
 
+    def _new_segment(self, n_bytes: int) -> shared_memory.SharedMemory:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, n_bytes))
+        self._segments[shm.name] = shm
+        return shm
+
+    def _drop_segment(self, shm: shared_memory.SharedMemory) -> None:
+        self._segments.pop(shm.name, None)
+        try:
+            shm.close()
+        except BufferError:
+            # Live views into the old mapping (e.g. the previous wave's
+            # results while pipelining past an arena regrow) make close()
+            # fail; unlink below still removes the /dev/shm entry now, and
+            # the retired mapping is closed at backend close once the views
+            # are dead — parking it also keeps SharedMemory.__del__ from
+            # raising the same BufferError at an arbitrary GC point.
+            self._retired[shm.name] = shm
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of the live shared-memory segments this backend owns."""
+        return tuple(self._segments)
+
+    def _pipeline_slots(self, n_x: int, n_e: int, n_slots: int):
+        """The persistent snapshot arenas for this volume size (reused)."""
+        if self._slots and (self._slots[0].n_x != n_x or self._slots[0].n_e != n_e):
+            for slot in self._slots:
+                slot.release()
+                self._drop_segment(slot.shm)
+            self._slots = []
+        while len(self._slots) < n_slots:
+            shm = self._new_segment((n_x + n_e) * 8)
+            self._slots.append(_SnapshotSlot(n_x, n_e, shm=shm))
+        return self._slots[:n_slots]
+
+    def _ensure_result(self, n_floats: int) -> np.ndarray:
+        """Grow-only result arena; a fresh name whenever it must grow."""
+        if self._result_shm is None or self._result_capacity < n_floats:
+            if self._result_shm is not None:
+                self._result_view = None
+                self._drop_segment(self._result_shm)
+            self._result_capacity = max(1, n_floats)
+            self._result_shm = self._new_segment(self._result_capacity * 8)
+            self._result_view = np.frombuffer(
+                self._result_shm.buf, dtype=np.float64, count=self._result_capacity
+            )
+        return self._result_view
+
     # ------------------------------------------------------------------
     def run_wave(
-        self, tasks: list[SVWaveTask], x: np.ndarray, e: np.ndarray, *, metrics=None
-    ) -> list[SVUpdateStats]:
+        self, tasks: "list[SVWaveTask]", x: np.ndarray, e: np.ndarray, *, metrics=None
+    ) -> "list[SVUpdateStats]":
         """Process ``tasks`` in worker processes; merge; return stats."""
-        if self._closed:
-            raise RuntimeError("ProcessBackend is closed")
+        self._check_open()
         rec = as_recorder(metrics)
+        with rec.span("extract"):
+            slot = self._pipeline_slots(x.size, e.size, 1)[0]
+            slot.fill(x, e)
+        with rec.span("update"):
+            results = self._collect(self._dispatch(tasks, slot), slot, rec)
+        results.sort(key=lambda r: r.sv_index)
+        with rec.span("merge"):
+            return _merge(results, self.grid, x, e, slot.x)
+
+    def run_waves(self, waves, x, e, *, metrics=None):
+        """Pipelined execution of consecutive waves (bit-identical)."""
+        return _run_waves_pipelined(self, waves, x, e, metrics)
+
+    def _dispatch(self, tasks, slot: _SnapshotSlot):
+        """Submit one shard per worker; plan result-arena spans up front.
+
+        Offsets computed here are valid worker-side because parent and
+        workers hold identical (deterministic) grids.
+        """
         if self._pool is None:  # previous wave broke the pool
             self._make_pool()
-        with rec.span("extract"):
-            x_snapshot = x.copy()
-            e_snapshot = e.copy()
-            shm, handle = _publish_snapshots(x_snapshot, e_snapshot)
-        try:
-            with rec.span("update"):
-                results = self._execute(tasks, handle, x_snapshot, e_snapshot, rec)
-            results.sort(key=lambda r: r.sv_index)
-            with rec.span("merge"):
-                return _merge(results, self.grid, x, e, x_snapshot)
-        finally:
-            shm.close()
-            shm.unlink()
-
-    def _execute(self, tasks, handle, x_snapshot, e_snapshot, rec) -> list[SVWaveResult]:
-        if tasks:
-            self.last_task_payload_bytes = len(pickle.dumps((tasks[0], handle)))
-        futures = [(self._pool.submit(_worker_process_shm, t, handle), t) for t in tasks]
+        spans = []
+        offset = 0
+        for t in tasks:
+            sv = self.grid.svs[t.sv_index]
+            spans.append((offset, offset + sv.n_voxels))
+            offset += sv.n_voxels + sv.svb_cells
+        self._ensure_result(offset)
+        snap_handle = _SnapshotHandle(slot.shm.name, slot.n_x, slot.n_e)
+        res_handle = _ResultHandle(self._result_shm.name, self._result_capacity)
+        pair_shards = _shard_tasks(list(zip(tasks, spans)), self.n_workers, self.wave_batch)
+        futures = []
+        for pairs in pair_shards:
+            shard_tasks = [p[0] for p in pairs]
+            shard_spans = [p[1] for p in pairs]
+            fut = self._pool.submit(
+                _worker_run_shard, shard_tasks, shard_spans, snap_handle, res_handle
+            )
+            futures.append((fut, shard_tasks, shard_spans))
+        if futures:
+            first_tasks, first_spans = futures[0][1], futures[0][2]
+            payload = len(pickle.dumps((first_tasks, first_spans, snap_handle, res_handle)))
+            self.last_task_payload_bytes = max(1, payload // len(first_tasks))
         deadline = (
             None if self.wave_timeout is None else time.monotonic() + self.wave_timeout
         )
+        return futures, deadline
+
+    def _collect(self, dispatched, slot: _SnapshotSlot, rec) -> "list[SVWaveResult]":
+        futures, deadline = dispatched
+        out = self._result_view
         results: list[SVWaveResult] = []
-        failed: list[SVWaveTask] = []
-        for fut, task in futures:
-            try:
-                remaining = (
-                    None if deadline is None else max(0.0, deadline - time.monotonic())
-                )
-                results.append(fut.result(timeout=remaining))
-            except Exception:
+        failed = []
+        for fut, shard_tasks, shard_spans in futures:
+            ok, stats = _future_result(fut, deadline)
+            if not ok:
                 # Worker crash (BrokenProcessPool), timeout, or a poisoned
-                # task.  The pool may be unusable either way: discard it and
-                # recompute the SV inline from the same snapshot + seed.
-                fut.cancel()
-                failed.append(task)
+                # shard.  The pool may be unusable either way: discard it
+                # and recompute the shard inline from the same snapshot.
+                failed.append(shard_tasks)
+                continue
+            for task, (vox_off, delta_off), (sv_index, updates, skipped, tad) in zip(
+                shard_tasks, shard_spans, stats
+            ):
+                sv = self.grid.svs[sv_index]
+                results.append(
+                    SVWaveResult(
+                        sv_index=sv_index,
+                        voxel_indices=sv.voxels,
+                        voxel_values=out[vox_off : vox_off + sv.n_voxels],
+                        svb_delta=out[delta_off : delta_off + sv.svb_cells],
+                        stats=SVUpdateStats(
+                            sv_index=sv_index,
+                            updates=updates,
+                            skipped=skipped,
+                            total_abs_delta=tad,
+                        ),
+                    )
+                )
         if failed:
             self._discard_pool()
-            self.inline_fallbacks += len(failed)
-            rec.count("backend.inline_fallbacks", len(failed))
+            n = sum(len(s) for s in failed)
+            self.inline_fallbacks += n
+            rec.count("backend.inline_fallbacks", n)
             rec.count("backend.pool_rebuilds", 1)
-            for task in failed:
-                results.append(
-                    _process_one(task, self.updater, self.grid, x_snapshot, e_snapshot)
+            for shard_tasks in failed:
+                results.extend(
+                    _run_task_list(shard_tasks, self.updater, self.grid, slot.x, slot.e)
                 )
         return results
 
     # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ProcessBackend is closed")
+
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has been called."""
         return self._closed
 
     def close(self) -> None:
-        """Shut the pool down (idempotent; safe on a broken pool)."""
+        """Shut the pool down and unlink every owned segment (idempotent)."""
         if not self._closed:
             self._closed = True
             if self._pool is not None:
                 self._pool.shutdown(wait=True, cancel_futures=True)
                 self._pool = None
+            for slot in self._slots:
+                slot.release()
+            self._slots = []
+            self._result_view = None
+            self._result_shm = None
+            _release_segments(self._segments)
+            _release_segments(self._retired)
 
     def __enter__(self):
         return self
@@ -712,14 +1241,17 @@ def make_backend(
     positivity: bool = True,
     n_workers: int = 4,
     wave_timeout: float | None = None,
+    wave_batch: int | None = None,
     fault_injection: tuple | None = None,
 ):
     """Build an execution backend by name ("serial" / "thread" / "process").
 
     The drivers call this with their own updater/grid so all backends merge
     through the exact same local state; ``scan``/``system``/``prior`` are
-    required for "process" (workers rebuild from them).  ``fault_injection``
-    (a :meth:`repro.resilience.FaultInjector.worker_fault` spec) is only
+    required for "process" (workers rebuild from them under spawn).
+    ``wave_batch`` caps the pool backends' shard size (serial has no
+    shards, so it is ignored there).  ``fault_injection`` (a
+    :meth:`repro.resilience.FaultInjector.worker_fault` spec) is only
     meaningful for the pool backends — the serial backend has no workers to
     fault, so passing one raises.
     """
@@ -733,6 +1265,7 @@ def make_backend(
             grid,
             n_workers=n_workers,
             wave_timeout=wave_timeout,
+            wave_batch=wave_batch,
             fault_injection=fault_injection,
         )
     if name == "process":
@@ -747,6 +1280,7 @@ def make_backend(
             positivity=positivity,
             n_workers=n_workers,
             wave_timeout=wave_timeout,
+            wave_batch=wave_batch,
             updater=updater,
             grid=grid,
             fault_injection=fault_injection,
@@ -765,7 +1299,7 @@ def run_wave(
     stale_width: int = 1,
     kernel: str = "python",
     metrics=None,
-) -> list[SVUpdateStats]:
+) -> "list[SVUpdateStats]":
     """Convenience wrapper: build tasks (stable per-SV seeds) and run them."""
     tasks = make_wave_tasks(
         base_seed, sv_indices, zero_skip=zero_skip, stale_width=stale_width, kernel=kernel

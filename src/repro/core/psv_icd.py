@@ -114,6 +114,8 @@ def psv_icd_reconstruct(
     backend: str = "inline",
     n_workers: int | None = None,
     wave_timeout: float | None = None,
+    pipeline: bool = False,
+    wave_batch: int | None = None,
     fault_injection: tuple | None = None,
     checkpoint=None,
     checkpoint_every: int = 1,
@@ -159,6 +161,15 @@ def psv_icd_reconstruct(
     wave_timeout:
         Optional per-wave wall-clock budget in seconds for the pool
         backends; overrunning SVs are recomputed inline (same iterates).
+    pipeline:
+        With a non-inline backend, run each iteration's waves through the
+        backend's two-deep pipeline (:meth:`run_waves`): while workers
+        compute wave ``k``, the parent merges wave ``k-1`` into ``x``/``e``
+        against double-buffered snapshot arenas.  Bit-identical to
+        sequential waves on the same backend.
+    wave_batch:
+        Optional shard-size cap for the pool backends (default: one shard
+        per worker); ignored by ``inline``/``serial``.
     fault_injection:
         Test-only :meth:`repro.resilience.FaultInjector.worker_fault` spec
         forwarded to the pool backends (crash/stall workers on chosen SVs).
@@ -186,6 +197,8 @@ def psv_icd_reconstruct(
 
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; use one of {BACKENDS}")
+    if pipeline and backend == "inline":
+        raise ValueError("pipeline=True requires backend='serial'/'thread'/'process'")
     exec_backend = None
     if backend != "inline":
         if n_workers is None:
@@ -200,6 +213,7 @@ def psv_icd_reconstruct(
             positivity=positivity,
             n_workers=n_workers,
             wave_timeout=wave_timeout,
+            wave_batch=wave_batch,
             fault_injection=fault_injection,
         )
     elif fault_injection is not None:
@@ -230,7 +244,38 @@ def psv_icd_reconstruct(
             selected = selector.select(iteration, rng)
             iter_updates = 0
             with rec.span("iteration", index=iteration):
-                for wave_start in range(0, selected.size, n_cores):
+                if exec_backend is not None and pipeline:
+                    # Pipelined path: pre-draw every wave's seed (same rng
+                    # consumption order/count as the sequential path below,
+                    # so iterates match bit-for-bit), then hand the whole
+                    # iteration's wave list to the backend.  Selector
+                    # bookkeeping moves after run_waves — record_update is
+                    # only read at the next iteration's select().
+                    wave_list = []
+                    for wave_start in range(0, selected.size, n_cores):
+                        wave_svs = selected[wave_start : wave_start + n_cores]
+                        wave_seed = int(rng.integers(0, 2**63 - 1))
+                        wave_list.append(
+                            make_wave_tasks(
+                                wave_seed,
+                                wave_svs,
+                                zero_skip=zero_skip and iteration > 1,
+                                stale_width=1,
+                                kernel=kernel,
+                            )
+                        )
+                    per_wave = exec_backend.run_waves(wave_list, x, e, metrics=rec)
+                    for wave_stats in per_wave:
+                        for stats in wave_stats:
+                            selector.record_update(stats.sv_index, stats.total_abs_delta)
+                            iter_updates += stats.updates
+                        trace.waves.append(
+                            PSVWaveTrace(iteration=iteration, sv_stats=tuple(wave_stats))
+                        )
+                    wave_range = ()  # waves already executed
+                else:
+                    wave_range = range(0, selected.size, n_cores)
+                for wave_start in wave_range:
                     wave_svs = selected[wave_start : wave_start + n_cores]
                     with rec.span("wave", svs=len(wave_svs)):
                         if exec_backend is not None:

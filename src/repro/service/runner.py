@@ -22,6 +22,7 @@ One function — :func:`run_job` — turns a spec into a driver call:
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import threading
 from pathlib import Path
 from typing import Any
@@ -106,16 +107,34 @@ def run_job(
     checkpoint_dir: str | Path,
     checkpoint_every: int = 1,
     metrics=None,
+    driver_defaults: dict[str, Any] | None = None,
 ):
     """Execute ``spec``'s reconstruction, checkpointed and resumable.
 
     The job checkpoints into ``checkpoint_dir`` every ``checkpoint_every``
     iterations and always resumes from the newest valid snapshot there
     (none yet = fresh start).  Returns the driver's result object.
+
+    ``driver_defaults`` supplies service-level execution defaults (e.g.
+    ``{"backend": "process", "n_workers": 4, "pipeline": True}``).  Spec
+    params always win, and keys the target driver doesn't accept are
+    dropped (``icd`` has no wave structure, so backend knobs only reach
+    the PSV/GPU drivers).  Defaults do **not** enter the result-cache
+    key: keep them iterate-neutral — pool-backend/pipeline/batching
+    choices all are (the cross-backend contract), but ``backend`` flips
+    between the inline and snapshot-isolated execution models, whose
+    iterates validly differ, so a fleet should pick one model and stay
+    on it (or put ``backend`` in the spec params, which are keyed).
     """
     driver_fn = _DRIVER_FNS[spec.driver]
     system = system_for(spec.scan.geometry)
     kwargs = dict(spec.params)
+    if driver_defaults:
+        accepted = set(inspect.signature(driver_fn).parameters)
+        kwargs = {
+            **{k: v for k, v in driver_defaults.items() if k in accepted},
+            **kwargs,
+        }
     if spec.driver == "gpu_icd":
         kwargs = _split_gpu_params(kwargs)
 

@@ -58,6 +58,12 @@ class Scheduler:
         Number of concurrently running jobs.
     checkpoint_every:
         Snapshot cadence (iterations) for every job.
+    driver_defaults:
+        Optional execution defaults merged *under* every job's spec params
+        (spec wins; keys a driver doesn't accept are dropped) — e.g.
+        ``{"backend": "process", "n_workers": 4, "pipeline": True}`` runs
+        the whole fleet on pipelined process pools.  See
+        :func:`~repro.service.runner.run_job` for the cache-key caveat.
     metrics:
         Optional service-level recorder receiving ``service.*`` counters.
     on_progress:
@@ -74,6 +80,7 @@ class Scheduler:
         checkpoint_root: str | Path,
         n_workers: int = 2,
         checkpoint_every: int = 1,
+        driver_defaults: dict | None = None,
         metrics: MetricsRecorder | None = None,
         on_progress: Callable[[ProgressEvent], None] | None = None,
         clock: Callable[[], float] = time.time,
@@ -85,6 +92,7 @@ class Scheduler:
         self.checkpoint_root = Path(checkpoint_root)
         self.n_workers = int(n_workers)
         self.checkpoint_every = int(checkpoint_every)
+        self.driver_defaults = dict(driver_defaults) if driver_defaults else None
         self.rec = as_recorder(metrics)
         self.on_progress = on_progress
         self._clock = clock
@@ -176,6 +184,7 @@ class Scheduler:
                 checkpoint_dir=ckpt_dir,
                 checkpoint_every=self.checkpoint_every,
                 metrics=recorder,
+                driver_defaults=self.driver_defaults,
             )
         except JobCancelledError:
             job.transition(JobState.CANCELLED, iteration=job.iteration)

@@ -64,6 +64,9 @@ class ReconstructionService:
         Optional persistence directory for the result cache.
     checkpoint_every:
         Snapshot cadence (iterations) for every job.
+    driver_defaults:
+        Execution defaults merged under every job's spec params (spec
+        wins) — see :class:`~repro.service.scheduler.Scheduler`.
     start:
         When False, workers stay parked until :meth:`start` — submissions
         queue up and then execute strictly in priority order.
@@ -77,6 +80,7 @@ class ReconstructionService:
         checkpoint_root: str | Path | None = None,
         cache_dir: str | Path | None = None,
         checkpoint_every: int = 1,
+        driver_defaults: dict | None = None,
         metrics: MetricsRecorder | None = None,
         on_progress: Callable[[ProgressEvent], None] | None = None,
         start: bool = True,
@@ -103,6 +107,7 @@ class ReconstructionService:
             checkpoint_root=self.checkpoint_root,
             n_workers=n_workers,
             checkpoint_every=checkpoint_every,
+            driver_defaults=driver_defaults,
             metrics=self.rec,
             on_progress=self._dispatch_progress,
             clock=clock,

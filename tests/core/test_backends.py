@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -307,6 +309,129 @@ class TestFaultTolerance:
             backend.close()
 
 
+class TestPipelinedWaves:
+    """``run_waves`` (persistent arenas + two-deep pipeline) vs sequential."""
+
+    WAVES = [[0, 3, 5], [1, 6, 10], [2, 7, 12], [4, 9, 15]]
+
+    def _schedule(self):
+        return [
+            make_wave_tasks(10 + k, wave, kernel="vectorized")
+            for k, wave in enumerate(self.WAVES)
+        ]
+
+    def _sequential_reference(self, state, scan32):
+        updater, grid = state
+        x, e = fresh(scan32, updater)
+        with SerialBackend(updater, grid) as serial:
+            for tasks in self._schedule():
+                serial.run_wave(tasks, x, e)
+        return x, e
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_run_waves_matches_sequential(self, state, scan32, system32, name):
+        """Four pipelined waves replay the sequential iterates bit-for-bit.
+
+        The pipeline only defers applying wave k's deltas to the caller's
+        arrays; each wave still starts from the exact post-merge state of
+        its predecessor — so there is nothing for floats to disagree on.
+        """
+        updater, grid = state
+        x_ref, e_ref = self._sequential_reference(state, scan32)
+        backend = make_backend(
+            name, updater=updater, grid=grid, scan=scan32, system=system32,
+            prior=default_prior(), n_workers=2,
+        )
+        with backend:
+            x, e = fresh(scan32, updater)
+            backend.run_waves(self._schedule(), x, e)
+        np.testing.assert_array_equal(x_ref, x, err_msg=name)
+        np.testing.assert_array_equal(e_ref, e, err_msg=name)
+
+    def test_process_arenas_persist_across_waves(self, state, scan32, system32):
+        """Three same-shape waves reuse the same segments: no churn."""
+        updater, grid = state
+        backend = ProcessBackend(scan32, system32, default_prior(), sv_side=8, n_workers=2)
+        with backend:
+            x, e = fresh(scan32, updater)
+            run_wave(backend, [0, 3], x, e, base_seed=1)
+            names_first = set(backend.segment_names())
+            assert names_first  # snapshot + result arenas are live
+            for seed in (2, 3):
+                run_wave(backend, [0, 3], x, e, base_seed=seed)
+            assert set(backend.segment_names()) == names_first
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    @pytest.mark.parametrize("wave_batch", [1, 2])
+    def test_wave_batch_equivalence(self, state, scan32, system32, name, wave_batch):
+        """Shard size cannot change iterates (tasks carry their own seeds)."""
+        updater, grid = state
+        xs, es = fresh(scan32, updater)
+        with SerialBackend(updater, grid) as serial:
+            run_wave(serial, [0, 3, 5, 9, 12], xs, es, base_seed=11)
+        backend = make_backend(
+            name, updater=updater, grid=grid, scan=scan32, system=system32,
+            prior=default_prior(), n_workers=2, wave_batch=wave_batch,
+        )
+        with backend:
+            x, e = fresh(scan32, updater)
+            run_wave(backend, [0, 3, 5, 9, 12], x, e, base_seed=11)
+        np.testing.assert_array_equal(xs, x)
+        np.testing.assert_array_equal(es, e)
+
+    def test_pipelined_spans_fire(self, state, scan32):
+        updater, grid = state
+        rec = MetricsRecorder()
+        with ThreadBackend(updater, grid, n_workers=2) as backend:
+            x, e = fresh(scan32, updater)
+            backend.run_waves(self._schedule(), x, e, metrics=rec)
+        totals = rec.span_totals()
+        assert {"wave", "extract", "update", "merge"} <= set(totals)
+        assert totals["wave"]["count"] == len(self.WAVES)
+
+    def test_empty_schedule(self, state, scan32):
+        updater, grid = state
+        with ThreadBackend(updater, grid, n_workers=2) as backend:
+            x, e = fresh(scan32, updater)
+            assert backend.run_waves([], x, e) == []
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs POSIX shm mount")
+class TestShmBookkeeping:
+    def test_no_leaked_segments_after_worker_crash(self, state, scan32, system32):
+        """A crashed worker must not strand /dev/shm segments after close.
+
+        The crash aborts the wave mid-flight (pool breaks, inline fallback
+        recomputes), which is exactly when segment lifetimes are easiest to
+        get wrong — the explicit unlink bookkeeping must still clear every
+        registered segment.
+        """
+        updater, grid = state
+        backend = ProcessBackend(
+            scan32, system32, default_prior(), sv_side=8, n_workers=2,
+            _fault_injection=("crash", (6,), 0.0),
+        )
+        x, e = fresh(scan32, updater)
+        run_wave(backend, [1, 6, 10], x, e, base_seed=4)
+        assert backend.inline_fallbacks >= 1  # the crash actually happened
+        names = backend.segment_names()
+        assert names
+        assert all(os.path.exists(f"/dev/shm/{n}") for n in names)
+        backend.close()
+        assert backend.segment_names() == ()
+        leaked = [n for n in names if os.path.exists(f"/dev/shm/{n}")]
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+    def test_segments_released_on_clean_close(self, state, scan32, system32):
+        updater, grid = state
+        backend = ProcessBackend(scan32, system32, default_prior(), sv_side=8, n_workers=2)
+        x, e = fresh(scan32, updater)
+        run_wave(backend, [0, 3], x, e)
+        names = backend.segment_names()
+        backend.close()
+        assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+
+
 class TestDriverIntegration:
     """The backend path of the PSV/GPU drivers: all backends bit-identical."""
 
@@ -334,6 +459,58 @@ class TestDriverIntegration:
         ser = gpu_icd_reconstruct(scan32, system32, backend="serial", **kw)
         prc = gpu_icd_reconstruct(scan32, system32, backend="process", n_workers=2, **kw)
         np.testing.assert_array_equal(ser.image, prc.image)
+
+    def test_psv_pipeline_bit_identical(self, scan32, system32):
+        from repro.core import psv_icd_reconstruct
+
+        kw = dict(
+            sv_side=8, n_cores=4, max_equits=1.0, track_cost=False, seed=3,
+            kernel="vectorized",
+        )
+        ref = psv_icd_reconstruct(scan32, system32, backend="serial", **kw).image
+        for backend in ("serial", "thread", "process"):
+            res = psv_icd_reconstruct(
+                scan32, system32, backend=backend, n_workers=2, pipeline=True, **kw
+            )
+            np.testing.assert_array_equal(ref, res.image, err_msg=backend)
+
+    def test_gpu_pipeline_bit_identical(self, scan32, system32):
+        from repro.core import GPUICDParams, gpu_icd_reconstruct
+
+        kw = dict(
+            params=GPUICDParams(sv_side=16, batch_size=2),
+            max_equits=1.0, track_cost=False, seed=3, kernel="vectorized",
+        )
+        ref = gpu_icd_reconstruct(scan32, system32, backend="serial", **kw)
+        res = gpu_icd_reconstruct(
+            scan32, system32, backend="process", n_workers=2, pipeline=True, **kw
+        )
+        np.testing.assert_array_equal(ref.image, res.image)
+        # The pipelined path must replicate the batch bookkeeping too.
+        assert ref.trace.n_kernels == res.trace.n_kernels
+        assert ref.trace.total_updates == res.trace.total_updates
+
+    def test_pipeline_requires_pool_backend(self, scan32, system32):
+        from repro.core import GPUICDParams, gpu_icd_reconstruct, psv_icd_reconstruct
+
+        with pytest.raises(ValueError, match="pipeline"):
+            psv_icd_reconstruct(scan32, system32, backend="inline", pipeline=True)
+        with pytest.raises(ValueError, match="pipeline"):
+            gpu_icd_reconstruct(
+                scan32, system32, params=GPUICDParams(sv_side=16),
+                backend="inline", pipeline=True,
+            )
+
+    def test_driver_wave_batch_bit_identical(self, scan32, system32):
+        from repro.core import psv_icd_reconstruct
+
+        kw = dict(
+            sv_side=8, n_cores=4, max_equits=1.0, track_cost=False, seed=3,
+            kernel="vectorized", backend="thread", n_workers=2,
+        )
+        ref = psv_icd_reconstruct(scan32, system32, **kw).image
+        res = psv_icd_reconstruct(scan32, system32, wave_batch=1, **kw).image
+        np.testing.assert_array_equal(ref, res)
 
     def test_unknown_backend_rejected(self, scan32, system32):
         from repro.core import psv_icd_reconstruct

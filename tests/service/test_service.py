@@ -179,3 +179,42 @@ class TestProgressStream:
         totals = job.metrics.span_totals()
         assert "iteration" in totals
         assert job.metrics.counters["checkpoint.saves"] >= 1
+
+
+class TestDriverDefaults:
+    """Service-level execution defaults flow into the drivers correctly."""
+
+    PSV_PARAMS = {"max_equits": 1.0, "sv_side": 6, "track_cost": False}
+    DEFAULTS = {"backend": "thread", "n_workers": 2, "pipeline": True}
+
+    def test_defaults_reach_psv_driver(self, scan16, system16):
+        from repro.core.psv_icd import psv_icd_reconstruct
+
+        with ReconstructionService(n_workers=1, driver_defaults=self.DEFAULTS) as svc:
+            job_id = svc.submit(JobSpec(driver="psv_icd", scan=scan16,
+                                        params=self.PSV_PARAMS))
+            via_service = svc.result(job_id, timeout=300)
+        direct = psv_icd_reconstruct(scan16, system16,
+                                     **self.PSV_PARAMS, **self.DEFAULTS)
+        np.testing.assert_array_equal(via_service.image, direct.image)
+
+    def test_unaccepted_keys_dropped_for_icd(self, scan16):
+        # icd has no wave structure; the backend knobs must be filtered
+        # out rather than crash the job.
+        with ReconstructionService(n_workers=1, driver_defaults=self.DEFAULTS) as svc:
+            job_id = svc.submit(icd_spec(scan16))
+            assert svc.result(job_id, timeout=120).image.shape == (16, 16)
+            assert svc.status(job_id)["state"] == "DONE"
+
+    def test_spec_params_override_defaults(self, scan16, system16):
+        from repro.core.psv_icd import psv_icd_reconstruct
+
+        params = {**self.PSV_PARAMS, "backend": "inline"}
+        with ReconstructionService(n_workers=1, driver_defaults=self.DEFAULTS) as svc:
+            # pipeline=True from the defaults would reject backend="inline";
+            # override it in the spec too, proving spec params win key-by-key.
+            job_id = svc.submit(JobSpec(driver="psv_icd", scan=scan16,
+                                        params={**params, "pipeline": False}))
+            via_service = svc.result(job_id, timeout=300)
+        direct = psv_icd_reconstruct(scan16, system16, **params)
+        np.testing.assert_array_equal(via_service.image, direct.image)
