@@ -20,10 +20,15 @@ measured numbers as the machine-readable report (the checked-in
 artifact).  The report records ``cpu_count`` — speedups are only
 meaningful where the sweep actually had cores to use.
 
-Perf-smoke mode: set ``REPRO_BENCH_BACKEND_ASSERT=1`` to hard-fail when
-``process`` at 2 workers is slower than inline beyond a 5 % tolerance.
-The assert is skipped (with a visible note) on single-core machines,
-where a worker pool cannot beat a loop that never pays dispatch costs.
+Perf-smoke mode: set ``REPRO_BENCH_BACKEND_ASSERT=1`` to check whether
+``process`` at 2 workers keeps within a 5 % tolerance of inline (best of
+``TRIALS`` interleaved trials).  A miss is *advisory*: it is reported and
+emitted as a GitHub ``::warning`` annotation, but does not fail the run —
+wall-clock asserts on shared CI runners are inherently flaky under
+noisy-neighbor load.  Set ``REPRO_BENCH_BACKEND_ASSERT=strict`` to make a
+miss raise instead (perf work on a quiet machine).  The check is skipped
+(with a visible note) on single-core machines, where a worker pool cannot
+beat a loop that never pays dispatch costs.
 """
 
 from __future__ import annotations
@@ -216,18 +221,32 @@ def bench_backends():
     if emit_path:
         _emit_json(emit_path, best, kernel, sv_side)
 
-    if os.environ.get("REPRO_BENCH_BACKEND_ASSERT"):
-        if (os.cpu_count() or 1) >= 2:
-            assert best["process@2"] >= SMOKE_TOLERANCE * inline, (
-                f"process@2 regressed vs inline: {best['process@2']:.0f} vs "
-                f"{inline:.0f} updates/s "
-                f"({best['process@2'] / inline:.2f}x < {SMOKE_TOLERANCE}x)"
-            )
-        else:
+    smoke = os.environ.get("REPRO_BENCH_BACKEND_ASSERT")
+    if smoke:
+        if (os.cpu_count() or 1) < 2:
             report(
                 "BACKENDS — perf smoke",
-                "single-core machine: process@2 vs inline assert skipped",
+                "single-core machine: process@2 vs inline check skipped",
             )
+        else:
+            ratio = best["process@2"] / inline
+            verdict = (
+                f"process@2 at {ratio:.2f}x inline "
+                f"({best['process@2']:.0f} vs {inline:.0f} updates/s, "
+                f"tolerance {SMOKE_TOLERANCE}x, best of {TRIALS} trials)"
+            )
+            if ratio >= SMOKE_TOLERANCE:
+                report("BACKENDS — perf smoke", f"OK: {verdict}")
+            elif smoke == "strict":
+                # Opt-in hard gate for perf work on a quiet machine; CI
+                # uses the advisory mode because shared runners make any
+                # wall-clock assert flaky under noisy-neighbor load.
+                raise AssertionError(f"process@2 regressed vs inline: {verdict}")
+            else:
+                report("BACKENDS — perf smoke", f"BELOW TOLERANCE: {verdict}")
+                # GitHub annotation: visible on the workflow run without
+                # failing the job on a transient runner slowdown.
+                print(f"::warning title=backend perf smoke::{verdict}")
     return best
 
 

@@ -730,10 +730,15 @@ class ThreadBackend(SerialBackend):
         rec.count("backend.inline_fallbacks", n)
 
     def close(self) -> None:
-        """Shut the pool down (idempotent)."""
+        """Shut the pool down and drop the snapshot buffers (idempotent)."""
         if not self._closed:
             self._closed = True
             self._pool.shutdown(wait=True, cancel_futures=True)
+            # Symmetric with ProcessBackend: the pipeline slots hold two
+            # volume-sized float64 buffers that must not outlive close().
+            for slot in self._slots:
+                slot.release()
+            self._slots = []
 
 
 # ----------------------------------------------------------------------
@@ -936,7 +941,9 @@ class ProcessBackend:
     Robustness: a worker crash (the pool breaks) or a wave running past
     ``wave_timeout`` seconds degrades to inline recomputation of the
     affected shards in the parent — bit-identical to a clean run — and the
-    broken pool is replaced before the next wave.  :meth:`close` is
+    broken pool is replaced before the next wave; its workers are killed
+    and the result arena retired, so a stalled-but-alive straggler can
+    never write stale results into a later wave.  :meth:`close` is
     idempotent, unlinks every shared segment the backend ever created
     (with a ``weakref.finalize`` backstop for unclosed backends), and the
     class is a context manager, so a dying pool cannot wedge a
@@ -1040,11 +1047,45 @@ class ProcessBackend:
         )
 
     def _discard_pool(self) -> None:
-        """Drop a broken/stuck pool without waiting on its workers."""
+        """Drop a broken/stuck pool; its workers must not outlive it.
+
+        ``shutdown(wait=False)`` does not stop a stalled-but-alive worker
+        (the usual cause of a wave timeout).  Left running, it would
+        eventually finish its shard and write into the persistent result
+        arena — same segment name, and typically the same offsets for a
+        same-shape wave — while a later wave's results are in flight,
+        silently corrupting iterates.  So the discarded pool's worker
+        processes are killed outright (a no-op for a crashed pool's
+        already-dead workers), and the result arena is retired besides:
+        SIGKILL delivery is asynchronous, and a fresh segment name
+        guarantees that any straggler's late write lands in the unlinked
+        old mapping, never in floats a future wave reads.  The snapshot
+        slots stay — stragglers only ever *read* those, and the inline
+        fallback still needs the current wave's snapshot.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+            pool, self._pool = self._pool, None
             self.pools_rebuilt += 1
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+            self._retire_result_arena()
+
+    def _retire_result_arena(self) -> None:
+        """Unlink the result arena so the next wave allocates a fresh name.
+
+        Views handed out for the current wave stay valid (a still-exported
+        mapping is parked in ``_retired`` and closed at backend close).
+        """
+        if self._result_shm is not None:
+            self._result_view = None
+            self._drop_segment(self._result_shm)
+            self._result_shm = None
+            self._result_capacity = 0
 
     def _new_segment(self, n_bytes: int) -> shared_memory.SharedMemory:
         shm = shared_memory.SharedMemory(create=True, size=max(1, n_bytes))

@@ -35,7 +35,7 @@ from repro.ct.system_matrix import SystemMatrix, build_system_matrix
 from repro.resilience import CheckpointManager, FaultInjector, IntegritySentinel
 from repro.service.jobs import JobSpec
 
-__all__ = ["system_for", "clear_system_cache", "run_job"]
+__all__ = ["system_for", "clear_system_cache", "run_job", "cache_key_defaults"]
 
 _DRIVER_FNS = {
     "icd": icd_reconstruct,
@@ -81,6 +81,37 @@ def clear_system_cache() -> None:
 
 
 # -- dispatch -----------------------------------------------------------
+def cache_key_defaults(
+    driver: str, params: dict[str, Any], driver_defaults: dict[str, Any] | None
+) -> dict[str, Any]:
+    """The ``driver_defaults`` contribution to a job's result-cache key.
+
+    Pool/pipeline/batching defaults are iterate-neutral (the cross-backend
+    contract), but ``backend`` picks between two execution *models* whose
+    iterates validly differ: the drivers' built-in inline emulation versus
+    the snapshot-isolated backends (serial/thread/process — bit-identical
+    to each other).  When the defaults flip a job to the snapshot model,
+    the key must record it, or a fleet that changes
+    ``driver_defaults["backend"]`` against a persistent ``cache_dir``
+    would silently be served results computed under the other model.
+
+    Defaults the driver doesn't accept (``icd`` has no wave structure) or
+    that the spec overrides (spec params win and are keyed already) cannot
+    affect the job, and ``"inline"`` is the drivers' own default — all
+    three map to ``{}`` so keys of fleets that never set a backend default
+    are unchanged.
+    """
+    if not driver_defaults or "backend" not in driver_defaults:
+        return {}
+    if "backend" in params:
+        return {}
+    if "backend" not in inspect.signature(_DRIVER_FNS[driver]).parameters:
+        return {}
+    if driver_defaults["backend"] == "inline":
+        return {}
+    return {"execution_model": "snapshot"}
+
+
 def _split_gpu_params(params: dict[str, Any]) -> dict[str, Any]:
     """Fold GPUICDParams-field keys into a ``params=`` object."""
     fields = {k: v for k, v in params.items() if k in _GPU_PARAM_FIELDS}
@@ -119,12 +150,13 @@ def run_job(
     ``{"backend": "process", "n_workers": 4, "pipeline": True}``).  Spec
     params always win, and keys the target driver doesn't accept are
     dropped (``icd`` has no wave structure, so backend knobs only reach
-    the PSV/GPU drivers).  Defaults do **not** enter the result-cache
-    key: keep them iterate-neutral — pool-backend/pipeline/batching
-    choices all are (the cross-backend contract), but ``backend`` flips
-    between the inline and snapshot-isolated execution models, whose
-    iterates validly differ, so a fleet should pick one model and stay
-    on it (or put ``backend`` in the spec params, which are keyed).
+    the PSV/GPU drivers).  Iterate-neutral defaults
+    (pool-backend/pipeline/batching choices, per the cross-backend
+    contract) don't enter the result-cache key; the one default that does
+    change iterates — ``backend`` flipping a job from the inline to the
+    snapshot-isolated execution model — is folded into the key by the
+    service (see :func:`cache_key_defaults`), so fleets on different
+    models never share cache entries.
     """
     driver_fn = _DRIVER_FNS[spec.driver]
     system = system_for(spec.scan.geometry)

@@ -62,8 +62,10 @@ class Scheduler:
         Optional execution defaults merged *under* every job's spec params
         (spec wins; keys a driver doesn't accept are dropped) — e.g.
         ``{"backend": "process", "n_workers": 4, "pipeline": True}`` runs
-        the whole fleet on pipelined process pools.  See
-        :func:`~repro.service.runner.run_job` for the cache-key caveat.
+        the whole fleet on pipelined process pools.  A ``backend`` default
+        that flips jobs to the snapshot-isolated execution model is folded
+        into the result-cache key by the service (see
+        :func:`~repro.service.runner.cache_key_defaults`).
     metrics:
         Optional service-level recorder receiving ``service.*`` counters.
     on_progress:

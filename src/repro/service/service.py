@@ -40,6 +40,7 @@ from repro.service.jobs import (
 )
 from repro.service.progress import ProgressEvent
 from repro.service.queue import JobQueue
+from repro.service.runner import cache_key_defaults
 from repro.service.scheduler import Scheduler
 
 __all__ = ["ReconstructionService"]
@@ -166,11 +167,20 @@ class ReconstructionService:
         with self._jobs_lock:
             if job_id in self._jobs and not self._jobs[job_id].terminal:
                 raise JobStateError(f"job id {job_id!r} is already active")
+        # The key covers everything that determines iterates: the spec,
+        # plus the execution model a backend default would impose on it
+        # (fleets on different models must not share cache entries).
+        key_params = {
+            **cache_key_defaults(
+                spec.driver, spec.params, self.scheduler.driver_defaults
+            ),
+            **spec.params,
+        }
         job = Job(
             job_id,
             spec,
             seq=next(self._seq),
-            cache_key=cache_key(spec.driver, spec.scan, spec.params),
+            cache_key=cache_key(spec.driver, spec.scan, key_params),
             clock=self._clock,
         )
         self.queue.put(job)  # AdmissionError propagates before registration

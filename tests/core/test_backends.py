@@ -308,6 +308,47 @@ class TestFaultTolerance:
         finally:
             backend.close()
 
+    def test_stalled_worker_cannot_corrupt_later_waves(self, state, scan32, system32):
+        """A timed-out wave kills its workers and retires the result arena.
+
+        ``shutdown(wait=False)`` alone leaves a stalled-but-alive worker
+        running; it would wake mid-way through a later wave and write its
+        stale shard into the reused result arena at the very offsets the
+        new wave occupies.  After the timeout the old result arena must be
+        gone from the segment registry (fresh name on the next dispatch),
+        and every wave after the stall must stay bit-identical to serial.
+        """
+        updater, grid = state
+        waves = [[1, 6], [2, 7], [0, 3], [5, 9]]  # only wave 1 holds SV 7
+        xs, es = fresh(scan32, updater)
+        with SerialBackend(updater, grid) as serial:
+            for seed, wave in enumerate(waves, start=9):
+                run_wave(serial, wave, xs, es, base_seed=seed)
+
+        backend = ProcessBackend(
+            scan32,
+            system32,
+            default_prior(),
+            sv_side=8,
+            n_workers=2,
+            wave_timeout=0.5,
+            _fault_injection=("stall", (7,), 5.0),
+        )
+        try:
+            xp, ep = fresh(scan32, updater)
+            run_wave(backend, waves[0], xp, ep, base_seed=9)  # clean: arenas live
+            names_before = set(backend.segment_names())
+            run_wave(backend, waves[1], xp, ep, base_seed=10)  # stalls, times out
+            assert backend.inline_fallbacks >= 1
+            retired = names_before - set(backend.segment_names())
+            assert len(retired) == 1  # the result arena, not the snapshot slot
+            for seed, wave in enumerate(waves[2:], start=11):
+                run_wave(backend, wave, xp, ep, base_seed=seed)
+            np.testing.assert_array_equal(xs, xp)
+            np.testing.assert_array_equal(es, ep)
+        finally:
+            backend.close()
+
 
 class TestPipelinedWaves:
     """``run_waves`` (persistent arenas + two-deep pipeline) vs sequential."""
