@@ -1,0 +1,181 @@
+"""Gateway load benchmark — the service under sustained HTTP traffic.
+
+Where ``bench_service.py`` measures the in-process queueing system, this
+drives the whole network path: ``ThreadingHTTPServer`` handler threads,
+JSON parsing, scan-cache lookups, admission control, scheduler workers,
+result-npz spooling — with :mod:`repro.service.loadgen` as the client.
+
+Three phases, one gateway:
+
+* **closed loop** — ``CLOSED_JOBS`` mixed-priority ICD jobs at 16^2 from
+  ``CONCURRENCY`` client threads, seeds spread over ``DISTINCT_SEEDS`` so
+  sustained load mixes fresh reconstructions with content-addressed cache
+  hits (the steady state of a real deployment).  Reports p50/p95/p99
+  end-to-end latency and throughput.
+* **open loop** — ``OPEN_JOBS`` arrivals at ``OPEN_RATE`` jobs/sec against
+  the same warm cache: the arrival process never stalls on backpressure,
+  so the 429 rate is measured rather than hidden.
+* **backpressure** — a second service with ``max_queue_depth=2`` and a
+  parked worker pool, hammered open-loop: 429s *must* appear (admission
+  control visibly works over HTTP) and nothing may 5xx.
+
+Across all phases the benchmark asserts **zero server-side 5xx** — the
+PR-7 concurrency fixes are exactly what this guards (the pre-fix cache
+write race failed ~15% of concurrent duplicate jobs).
+
+Emit mode: ``REPRO_BENCH_JSON=path.json`` writes the machine-readable
+report (CI uploads it as the ``BENCH_7.json`` perf-trajectory artifact;
+the checked-in ``BENCH_7.json`` was produced this way).  CI-size knobs:
+``REPRO_LOAD_JOBS`` scales the closed/open job counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+
+from conftest import report
+
+from repro.ct import build_system_matrix, scaled_geometry, shepp_logan, simulate_scan
+from repro.io import save_scan
+from repro.service import HttpGateway, ReconstructionService
+from repro.service.loadgen import default_spec_factory, run_load
+from repro.service.runner import clear_system_cache
+
+#: Image side for generated jobs (network/service overhead, not kernels).
+PIXELS = 16
+#: Closed-loop submissions (override with REPRO_LOAD_JOBS for CI sizing).
+CLOSED_JOBS = int(os.environ.get("REPRO_LOAD_JOBS", "120"))
+#: Open-loop submissions ride at half the closed count.
+OPEN_JOBS = max(10, CLOSED_JOBS // 2)
+#: Open-loop arrival rate, jobs/sec — intentionally above the service's
+#: fresh-compute rate so queueing (not the client) is what's measured.
+OPEN_RATE = float(os.environ.get("REPRO_LOAD_RATE", "30"))
+#: Client threads (closed loop) / completion watchers (open loop).
+CONCURRENCY = 6
+#: Seeds cycle over this many values: dedup-heavy sustained load.
+DISTINCT_SEEDS = 6
+#: Per-job end-to-end SLO for the violation count.
+SLO_S = float(os.environ.get("REPRO_LOAD_SLO_S", "30"))
+
+PARAMS = {"max_equits": 1.0, "track_cost": False}
+
+
+def _spec_factory():
+    return default_spec_factory(
+        driver="icd",
+        scan="scan.npz",
+        params=PARAMS,
+        priorities=(0, 1, 2),
+        distinct_seeds=DISTINCT_SEEDS,
+    )
+
+
+def bench_service_load(tmp_path):
+    system = build_system_matrix(scaled_geometry(PIXELS))
+    scan = simulate_scan(shepp_logan(PIXELS), system, seed=0)
+    save_scan(tmp_path / "scan.npz", scan)
+    clear_system_cache()
+
+    phases: dict[str, dict] = {}
+    lines = []
+
+    # -- phases 1+2: one gateway, closed then open loop ------------------
+    service = ReconstructionService(
+        n_workers=2, cache_dir=tmp_path / "cache", start=True
+    )
+    with HttpGateway(service, scan_root=tmp_path, own_service=True) as gw:
+        closed = run_load(
+            gw.url,
+            mode="closed",
+            n_jobs=CLOSED_JOBS,
+            concurrency=CONCURRENCY,
+            spec_factory=_spec_factory(),
+            slo_s=SLO_S,
+        )
+        phases["closed"] = closed.to_dict()
+        lines += [closed.format(), ""]
+
+        open_loop = run_load(
+            gw.url,
+            mode="open",
+            n_jobs=OPEN_JOBS,
+            rate=OPEN_RATE,
+            concurrency=CONCURRENCY,
+            spec_factory=_spec_factory(),
+            slo_s=SLO_S,
+        )
+        phases["open"] = open_loop.to_dict()
+        lines += [open_loop.format(), ""]
+
+    # -- phase 3: backpressure -------------------------------------------
+    # Tiny queue, parked workers: every submission beyond depth 2 must be
+    # turned away with a 429, and none of it may 5xx.
+    bp_service = ReconstructionService(
+        n_workers=1,
+        max_queue_depth=2,
+        cache_dir=tmp_path / "bp-cache",
+        start=True,
+    )
+    bp_service.scheduler.stop(wait=True)
+    with HttpGateway(
+        bp_service, scan_root=tmp_path, own_service=True, retry_after_s=0.05
+    ) as gw:
+        # All 20 arrivals land within ~0.1 s against the parked depth-2
+        # queue; the scheduler wakes shortly after so the admitted jobs
+        # finish and the completion watchers exit promptly.
+        threading.Timer(0.5, bp_service.scheduler.start).start()
+        backpressure = run_load(
+            gw.url,
+            mode="open",
+            n_jobs=20,
+            rate=200.0,
+            concurrency=2,
+            spec_factory=_spec_factory(),
+            fetch_results=False,
+            drain_timeout_s=60.0,
+        )
+        bp_metrics = gw.metrics_text()
+    phases["backpressure"] = backpressure.to_dict()
+    lines += [backpressure.format()]
+
+    report(
+        f"SERVICE LOAD — HTTP gateway, {CLOSED_JOBS}+{OPEN_JOBS}+20 jobs "
+        f"at {PIXELS}^2",
+        "\n".join(lines),
+    )
+
+    emit_path = os.environ.get("REPRO_BENCH_JSON")
+    if emit_path:
+        doc = {
+            "bench": "service_load",
+            "pixels": PIXELS,
+            "python": platform.python_version(),
+            "concurrency": CONCURRENCY,
+            "distinct_seeds": DISTINCT_SEEDS,
+            "phases": phases,
+        }
+        with open(emit_path, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    # Guards — the load harness is a regression net, not just a stopwatch.
+    for name, phase in phases.items():
+        assert phase["server_errors_5xx"] == 0, (
+            f"{name}: {phase['server_errors_5xx']} 5xx responses under load"
+        )
+    assert phases["closed"]["completed"] == CLOSED_JOBS, phases["closed"]
+    assert phases["closed"]["slo_violations"] == 0, phases["closed"]
+    # Sustained closed-loop traffic with cycling seeds must hit the cache.
+    assert phases["closed"]["status_counts"]["201"] >= CLOSED_JOBS
+    # Backpressure: admission control visibly at work over HTTP, with the
+    # rejections surfaced in the Prometheus endpoint too.
+    assert phases["backpressure"]["rejected_429"] > 0, phases["backpressure"]
+    assert 'name="http.jobs_rejected_429"' in bp_metrics
+    return phases
+
+
+def test_service_load(benchmark, tmp_path):
+    benchmark.pedantic(bench_service_load, args=(tmp_path,), rounds=1, iterations=1)

@@ -13,12 +13,17 @@
     python -m repro submit QUEUE_DIR --driver icd --scan scan.npz [--priority 5]
     python -m repro status QUEUE_DIR JOB_ID
     python -m repro cancel QUEUE_DIR JOB_ID
+    python -m repro serve-http --scan-root DIR [--port 8080] [--workers 2]
+    python -m repro loadtest URL [--mode open --rate 20] [--jobs 200]
 
 Each experiment prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured record); ``profile`` runs
 instrumented reconstructions (see :mod:`repro.observability`); the
 ``serve`` / ``submit`` / ``status`` / ``cancel`` family speaks the queue
-directory protocol of :mod:`repro.service.intake`.
+directory protocol of :mod:`repro.service.intake`; ``serve-http`` fronts
+the service with the REST gateway of :mod:`repro.service.http`, and
+``loadtest`` drives any such gateway with the closed/open-loop generator
+of :mod:`repro.service.loadgen`.
 
 Exit codes are distinct by failure class: 0 success, 1 runtime failure
 (an experiment or job blew up), 2 usage error (bad arguments —
@@ -181,6 +186,67 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scheduling priority; higher runs earlier (default 0)")
     submit.add_argument("--job-id", default=None,
                         help="stable job id (default: derived from time+pid)")
+
+    serve_http = sub.add_parser(
+        "serve-http", help="serve reconstruction jobs over HTTP (REST gateway)"
+    )
+    serve_http.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default 127.0.0.1)")
+    serve_http.add_argument("--port", type=int, default=8080,
+                            help="bind port; 0 picks a free one (default 8080)")
+    serve_http.add_argument("--scan-root", required=True, metavar="DIR",
+                            help="directory against which submitted relative "
+                            "scan paths resolve")
+    serve_http.add_argument("--workers", type=int, default=2, metavar="N",
+                            help="concurrently running jobs (default 2)")
+    serve_http.add_argument("--max-queue-depth", type=int, default=None,
+                            metavar="D",
+                            help="admission-control bound on pending jobs; "
+                            "beyond it POST /jobs returns 429 "
+                            "(default unbounded)")
+    serve_http.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="persistent content-addressed result cache")
+    serve_http.add_argument("--checkpoint-root", default=None, metavar="DIR",
+                            help="per-job resumable checkpoint directories")
+    serve_http.add_argument("--retry-after", type=float, default=1.0,
+                            metavar="S",
+                            help="Retry-After header value on 429s (default 1)")
+
+    loadtest = sub.add_parser(
+        "loadtest", help="drive an HTTP gateway with sustained load"
+    )
+    loadtest.add_argument("url", help="gateway base URL, e.g. http://127.0.0.1:8080")
+    loadtest.add_argument("--mode", choices=["closed", "open"], default="closed",
+                          help="closed: fixed concurrency, submit->await->next; "
+                          "open: fixed arrival rate, 429s dropped and counted "
+                          "(default closed)")
+    loadtest.add_argument("--jobs", type=int, default=50, metavar="N",
+                          help="total submissions (default 50)")
+    loadtest.add_argument("--rate", type=float, default=None, metavar="R",
+                          help="arrival rate in jobs/sec (required for "
+                          "--mode open)")
+    loadtest.add_argument("--concurrency", type=int, default=4, metavar="C",
+                          help="client threads (closed) / completion watchers "
+                          "(open) (default 4)")
+    loadtest.add_argument("--driver", choices=["icd", "psv_icd", "gpu_icd"],
+                          default="icd", help="driver for generated jobs")
+    loadtest.add_argument("--scan", default="scan.npz", metavar="PATH",
+                          help="server-side scan path for generated jobs "
+                          "(default scan.npz)")
+    loadtest.add_argument("--params", default=None, metavar="JSON",
+                          help="driver kwargs for generated jobs as a JSON "
+                          "object")
+    loadtest.add_argument("--distinct-seeds", type=int, default=0, metavar="K",
+                          help="spread seed over i %% K to mix fresh work "
+                          "with cache hits (default 0: leave seed to "
+                          "--params)")
+    loadtest.add_argument("--slo", type=float, default=None, metavar="S",
+                          help="count jobs slower than S seconds end-to-end "
+                          "as SLO violations")
+    loadtest.add_argument("--no-results", action="store_true",
+                          help="skip fetching result bytes (status-only load)")
+    loadtest.add_argument("--report-json", default=None, metavar="PATH",
+                          help="write the load report as JSON")
 
     status = sub.add_parser("status", help="print a job's last status snapshot")
     status.add_argument("queue_dir")
@@ -396,11 +462,79 @@ def _run_cancel(args) -> None:
     print(f"cancel requested for {args.job_id} ({sentinel})")
 
 
+def _run_serve_http(args) -> None:
+    from repro.service import HttpGateway, ReconstructionService
+
+    service = ReconstructionService(
+        n_workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        cache_dir=args.cache_dir,
+        checkpoint_root=args.checkpoint_root,
+        start=True,
+    )
+    gateway = HttpGateway(
+        service,
+        host=args.host,
+        port=args.port,
+        scan_root=args.scan_root,
+        retry_after_s=args.retry_after,
+        own_service=True,
+    )
+    print(f"gateway listening on {gateway.url} "
+          f"(scan root {args.scan_root}, {args.workers} worker(s))")
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        gateway.close()
+
+
+def _run_loadtest(args) -> None:
+    from repro.service.loadgen import default_spec_factory, run_load
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as exc:
+        raise UsageError(f"--params is not valid JSON: {exc}") from exc
+    if not isinstance(params, dict):
+        raise UsageError("--params must be a JSON object")
+    if args.mode == "open" and (args.rate is None or args.rate <= 0):
+        raise UsageError("--mode open requires a positive --rate")
+    report = run_load(
+        args.url,
+        mode=args.mode,
+        n_jobs=args.jobs,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        spec_factory=default_spec_factory(
+            driver=args.driver,
+            scan=args.scan,
+            params=params,
+            distinct_seeds=args.distinct_seeds,
+        ),
+        slo_s=args.slo,
+        fetch_results=not args.no_results,
+    )
+    print(report.format())
+    if args.report_json:
+        with open(args.report_json, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"load report written to {args.report_json}")
+    if report.server_errors_5xx:
+        raise RuntimeError(
+            f"{report.server_errors_5xx} server-side 5xx responses under load"
+        )
+
+
 _SERVICE_COMMANDS = {
     "serve": _run_serve,
     "submit": _run_submit,
     "status": _run_status,
     "cancel": _run_cancel,
+    "serve-http": _run_serve_http,
+    "loadtest": _run_loadtest,
 }
 
 

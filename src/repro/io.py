@@ -17,8 +17,10 @@ missing or unreadable key instead of surfacing raw ``KeyError`` /
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 import zipfile
 from pathlib import Path
 
@@ -48,6 +50,11 @@ class CorruptFileError(ValueError):
     """
 
 
+#: Disambiguates concurrent same-path writers beyond (pid, thread id): a
+#: thread can write the same path twice, and thread ids are reused.
+_tmp_counter = itertools.count()
+
+
 def _atomic_savez(path: str | Path, payload: dict) -> Path:
     """Write an npz atomically: temp file in the same directory + ``os.replace``.
 
@@ -55,11 +62,21 @@ def _atomic_savez(path: str | Path, payload: dict) -> Path:
     is appended when missing) and returns the final path.  The temp file is
     flushed and fsynced before the rename so a crash at any point leaves
     either the previous file or the complete new one on disk.
+
+    The temp name is unique per (pid, thread, write): two service workers
+    finishing jobs with the same cache key concurrently write the same
+    final path, and a pid-only suffix made them share the temp file — one
+    truncated the other mid-write and the loser's rename raised ENOENT.
+    With distinct temp files the only shared step is ``os.replace``, which
+    is atomic and last-writer-wins.
     """
     final = Path(path)
     if final.suffix != ".npz":
         final = final.with_name(final.name + ".npz")
-    tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}")
+    tmp = final.with_name(
+        f".{final.name}.tmp-{os.getpid()}-{threading.get_ident()}"
+        f"-{next(_tmp_counter)}"
+    )
     try:
         with open(tmp, "wb") as f:
             np.savez_compressed(f, **payload)

@@ -42,11 +42,23 @@ Instrumentation sites (see DESIGN.md §9):
 The recorder never touches the numerics — it only reads the clock — so
 instrumented and uninstrumented runs produce bit-identical iterates (the
 cross-kernel equivalence tests guard this).
+
+Thread-safety: one :class:`MetricsRecorder` may be shared across threads —
+the job service's HTTP request handlers and Scheduler workers all feed the
+same instance.  Counters are updated under an internal lock (a bare
+read-modify-write would lose increments under contention), and the span
+stack is **thread-local**: each thread nests its own spans privately and
+contributes its root spans to the shared ``roots`` list (appended under
+the lock), so concurrent spans from different threads can never interleave
+into a corrupted nesting tree.  Reports (:meth:`~MetricsRecorder.to_dict`,
+:meth:`~MetricsRecorder.span_totals`, :meth:`~MetricsRecorder.to_prometheus`)
+snapshot under the same lock.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -139,6 +151,9 @@ class NullRecorder:
     def count(self, name: str, n: int | float = 1) -> None:
         """Ignore the counter increment."""
 
+    def count_max(self, name: str, value: int | float) -> None:
+        """Ignore the high-water-mark update."""
+
     def merge_counters(self, counters: dict[str, float]) -> None:
         """Ignore the merge (no counters are kept)."""
 
@@ -150,6 +165,10 @@ class NullRecorder:
         """An empty report, shaped like :meth:`MetricsRecorder.to_dict`."""
         return {"enabled": False, "spans": [], "counters": {}}
 
+    def to_prometheus(self, *, gauges: dict[str, float] | None = None) -> str:
+        """An empty (but valid) Prometheus text-format exposition."""
+        return _prometheus_text({}, {}, gauges or {})
+
 
 #: Process-wide singleton handed out by :func:`as_recorder` for ``None``.
 NULL_RECORDER = NullRecorder()
@@ -157,6 +176,11 @@ NULL_RECORDER = NullRecorder()
 
 class MetricsRecorder:
     """Collects nested wall-clock spans and named counters for one run.
+
+    Safe to share across threads: counter updates and span-tree mutations
+    happen under an internal lock, and the open-span stack is thread-local
+    (each thread's spans nest among themselves; every thread's outermost
+    spans land in the shared ``roots`` list).
 
     Parameters
     ----------
@@ -169,9 +193,18 @@ class MetricsRecorder:
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
+        self._lock = threading.Lock()
         self.roots: list[Span] = []
         self.counters: dict[str, float] = {}
-        self._stack: list[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's private open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- spans ----------------------------------------------------------
     def span(self, name: str, **meta) -> _SpanContext:
@@ -180,32 +213,42 @@ class MetricsRecorder:
 
     def _push(self, span: Span) -> None:
         span.start = self._clock()
-        if self._stack:
-            self._stack[-1].children.append(span)
-        else:
-            self.roots.append(span)
-        self._stack.append(span)
+        stack = self._stack
+        with self._lock:
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+        stack.append(span)
 
     def _pop(self, span: Span) -> None:
         end = self._clock()
+        stack = self._stack
         # Close any dangling children first (exceptions unwound past them).
-        while self._stack and self._stack[-1] is not span:
-            dangling = self._stack.pop()
+        while stack and stack[-1] is not span:
+            dangling = stack.pop()
             if dangling.end is None:
                 dangling.end = end
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
+        if stack and stack[-1] is span:
+            stack.pop()
         span.end = end
 
     @property
     def open_spans(self) -> int:
-        """Number of spans currently open (0 once every ``with`` exited)."""
+        """Spans the *calling thread* has open (0 once every ``with`` exited)."""
         return len(self._stack)
 
     # -- counters -------------------------------------------------------
     def count(self, name: str, n: int | float = 1) -> None:
         """Add ``n`` to the named counter (created at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def count_max(self, name: str, value: int | float) -> None:
+        """Raise the named high-water-mark counter to ``value`` if larger."""
+        with self._lock:
+            if value > self.counters.get(name, 0):
+                self.counters[name] = value
 
     def merge_counters(self, counters: dict[str, float]) -> None:
         """Add a saved counter snapshot into this recorder.
@@ -219,6 +262,8 @@ class MetricsRecorder:
 
     # -- aggregation ----------------------------------------------------
     def _walk(self):
+        # Snapshot the tree edges so concurrent _push appends (which happen
+        # under the same lock the caller holds) cannot shift the iteration.
         stack = list(self.roots)
         while stack:
             s = stack.pop()
@@ -228,12 +273,13 @@ class MetricsRecorder:
     def span_totals(self) -> dict[str, dict[str, float]]:
         """Aggregate closed spans by name: ``{name: {count, total_s}}``."""
         totals: dict[str, dict[str, float]] = {}
-        for s in self._walk():
-            if s.end is None:
-                continue
-            agg = totals.setdefault(s.name, {"count": 0, "total_s": 0.0})
-            agg["count"] += 1
-            agg["total_s"] += s.end - s.start
+        with self._lock:
+            for s in self._walk():
+                if s.end is None:
+                    continue
+                agg = totals.setdefault(s.name, {"count": 0, "total_s": 0.0})
+                agg["count"] += 1
+                agg["total_s"] += s.end - s.start
         return totals
 
     def total(self, name: str) -> float:
@@ -244,18 +290,92 @@ class MetricsRecorder:
     # -- reports --------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """The JSON-ready report: span tree, aggregates, counters."""
-        return {
-            "enabled": True,
-            "spans": [s.to_dict() for s in self.roots],
-            "span_totals": self.span_totals(),
-            "counters": dict(self.counters),
-        }
+        totals = self.span_totals()
+        with self._lock:
+            return {
+                "enabled": True,
+                "spans": [s.to_dict() for s in self.roots],
+                "span_totals": totals,
+                "counters": dict(self.counters),
+            }
+
+    def to_prometheus(self, *, gauges: dict[str, float] | None = None) -> str:
+        """The Prometheus text-format exposition of counters + span totals.
+
+        Counters become ``repro_counter_total{name="..."}`` samples, closed
+        spans aggregate into ``repro_span_seconds_total`` /
+        ``repro_span_count_total`` by span name, and the optional ``gauges``
+        mapping (point-in-time values the caller owns, e.g. queue depth)
+        exports as ``repro_gauge{name="..."}``.
+        """
+        totals = self.span_totals()
+        with self._lock:
+            counters = dict(self.counters)
+        return _prometheus_text(counters, totals, gauges or {})
 
     def write_json(self, path) -> None:
         """Serialise :meth:`to_dict` to ``path`` (indent=2, sorted keys)."""
         with open(path, "w") as f:
             json.dump(self.to_dict(), f, indent=2, sort_keys=True)
             f.write("\n")
+
+
+def _escape_label(value: str) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(v: float) -> str:
+    """Prometheus sample value: integers without a trailing .0."""
+    f = float(v)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _prometheus_text(
+    counters: dict[str, float],
+    span_totals: dict[str, dict[str, float]],
+    gauges: dict[str, float],
+) -> str:
+    """Render counters / span aggregates / gauges as Prometheus text format.
+
+    One metric family per kind, with the repro-side name carried in a
+    label — so arbitrary dotted counter names (``service.jobs_submitted``,
+    ``kernel.numba.updates``) need no per-name sanitisation and the
+    exposition stays valid for any name the recorder ever sees.
+    """
+    lines: list[str] = []
+    if counters:
+        lines.append("# HELP repro_counter_total Named counters (MetricsRecorder.count).")
+        lines.append("# TYPE repro_counter_total counter")
+        for name in sorted(counters):
+            lines.append(
+                f'repro_counter_total{{name="{_escape_label(name)}"}} '
+                f"{_format_value(counters[name])}"
+            )
+    if span_totals:
+        lines.append("# HELP repro_span_seconds_total Seconds in closed spans, by name.")
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for name in sorted(span_totals):
+            lines.append(
+                f'repro_span_seconds_total{{span="{_escape_label(name)}"}} '
+                f"{span_totals[name]['total_s']:.9f}"
+            )
+        lines.append("# HELP repro_span_count_total Closed-span count, by name.")
+        lines.append("# TYPE repro_span_count_total counter")
+        for name in sorted(span_totals):
+            lines.append(
+                f'repro_span_count_total{{span="{_escape_label(name)}"}} '
+                f"{_format_value(span_totals[name]['count'])}"
+            )
+    if gauges:
+        lines.append("# HELP repro_gauge Point-in-time values supplied by the exporter.")
+        lines.append("# TYPE repro_gauge gauge")
+        for name in sorted(gauges):
+            lines.append(
+                f'repro_gauge{{name="{_escape_label(name)}"}} '
+                f"{_format_value(gauges[name])}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def as_recorder(metrics: "MetricsRecorder | NullRecorder | None"):

@@ -8,10 +8,14 @@ content-addressed result cache, and observable through status snapshots,
 progress streams, and ``service.*`` counters.
 
 Entry points: :class:`ReconstructionService` (in-process),
-:class:`DirectoryService` / ``python -m repro serve`` (file-based intake).
+:class:`DirectoryService` / ``python -m repro serve`` (file-based intake),
+:class:`HttpGateway` / ``python -m repro serve-http`` (REST over
+``ThreadingHTTPServer``, exercised by :func:`repro.service.loadgen.run_load`
+/ ``python -m repro loadtest``).
 """
 
 from repro.service.cache import CachedResult, ResultCache, cache_key
+from repro.service.http import HttpGateway
 from repro.service.intake import (
     DirectoryService,
     read_status,
@@ -31,6 +35,7 @@ from repro.service.jobs import (
     ServiceError,
     UnknownJobError,
 )
+from repro.service.loadgen import JobRecord, LoadReport, run_load
 from repro.service.progress import ProgressEvent, ProgressRecorder
 from repro.service.queue import AdmissionError, JobQueue
 from repro.service.runner import clear_system_cache, run_job, system_for
@@ -61,6 +66,10 @@ __all__ = [
     "run_job",
     "Scheduler",
     "ReconstructionService",
+    "HttpGateway",
+    "JobRecord",
+    "LoadReport",
+    "run_load",
     "DirectoryService",
     "write_job_spec",
     "read_status",

@@ -28,6 +28,16 @@ checkpoint directory is found and the job resumes from its last snapshot —
 a SIGKILL'd server rerun with the same queue directory completes every
 in-flight job bit-identically to an uninterrupted run.
 
+Bad specs never crash the serve loop.  A spec that cannot be submitted
+(unknown keys, unparseable JSON, an unreadable scan file) is *quarantined*:
+a terminal FAILED ``status.json`` naming the error is published for it and
+the loop moves on — and because FAILED is terminal, recovery skips it on
+every later restart instead of re-raising forever.  A spec rejected by
+admission control (the queue is full) is not an error at all: it stays
+accepted and is resubmitted on a later poll, once the backlog drains.
+Cancel sentinels are consumed once their job is terminal (renamed
+``cancel.done``), so a finished job is not re-cancelled on every poll.
+
 Only the serve loop writes ``status.json`` (single-writer, temp-file +
 ``os.replace``), so readers never observe a torn snapshot.
 """
@@ -42,7 +52,8 @@ from typing import Any
 
 from repro.io import load_scan, save_reconstruction
 from repro.observability import MetricsRecorder
-from repro.service.jobs import TERMINAL_STATES, Job, JobSpec, JobState
+from repro.service.jobs import TERMINAL_STATES, Job, JobSpec, JobState, JobStateError
+from repro.service.queue import AdmissionError
 from repro.service.service import ReconstructionService
 
 __all__ = [
@@ -143,17 +154,23 @@ class DirectoryService:
             start=True,
         )
         self._persisted: set[str] = set()
+        self._deferred: dict[str, Path] = {}  # admission-rejected, retry next poll
         self._recover()
 
     # -- crash recovery --------------------------------------------------
     def _recover(self) -> None:
-        """Resubmit every job a previous life left non-terminal."""
+        """Resubmit every job a previous life left non-terminal.
+
+        Quarantined specs carry a terminal FAILED status, so a restart
+        skips them like any other finished job instead of retrying (and
+        re-failing on) them forever.
+        """
         for spec_path in sorted(self.jobs_dir.glob("*/spec.json")):
             job_id = spec_path.parent.name
             status = read_status(self.queue_dir, job_id)
             if status is not None and status.get("state") in {s.value for s in TERMINAL_STATES}:
                 continue
-            self._submit_spec_file(spec_path, job_id)
+            self._submit_accepted(spec_path, job_id)
 
     # -- intake ----------------------------------------------------------
     def _submit_spec_file(self, spec_path: Path, job_id: str) -> None:
@@ -175,37 +192,92 @@ class DirectoryService:
         self.service.submit(spec)
         self._publish_status(self.service.job(job_id))
 
+    def _submit_accepted(self, spec_path: Path, job_id: str) -> str:
+        """Submit an accepted spec without ever crashing the serve loop.
+
+        Returns the outcome: ``"submitted"`` (now pending), ``"deferred"``
+        (queue full — retried on a later poll), ``"quarantined"`` (the spec
+        is unrunnable — published as terminal FAILED), or ``"skipped"``
+        (duplicate id of a currently-active job, which owns the status).
+        """
+        try:
+            self._submit_spec_file(spec_path, job_id)
+            return "submitted"
+        except AdmissionError:
+            self._deferred[job_id] = spec_path
+            return "deferred"
+        except JobStateError:
+            return "skipped"
+        except Exception as exc:
+            self._quarantine(job_id, exc)
+            return "quarantined"
+
+    def _quarantine(self, job_id: str, exc: Exception) -> None:
+        """Publish a terminal FAILED status for an unrunnable accepted spec."""
+        self._write_status(
+            job_id,
+            {
+                "job_id": job_id,
+                "state": JobState.FAILED.value,
+                "error": f"{type(exc).__name__}: {exc}",
+                "quarantined": True,
+                "updated_at": time.time(),
+            },
+        )
+
     def poll_incoming(self) -> list[str]:
-        """Accept all pending ``incoming/`` specs; returns their job ids."""
+        """Accept all pending ``incoming/`` specs; returns newly-pending ids.
+
+        Specs previously deferred by admission control are retried first
+        (they were accepted earlier); then new arrivals are accepted.  A
+        spec that fails to submit is quarantined or re-deferred — the poll
+        itself never raises.
+        """
         accepted = []
+        for job_id, spec_path in sorted(self._deferred.items()):
+            del self._deferred[job_id]
+            if self._submit_accepted(spec_path, job_id) == "submitted":
+                accepted.append(job_id)
         for path in sorted(self.incoming.glob("*.json")):
             job_id = path.stem
             job_dir = self.jobs_dir / job_id
             job_dir.mkdir(parents=True, exist_ok=True)
             spec_path = job_dir / "spec.json"
             os.replace(path, spec_path)  # accept before submit: crash-safe
-            self._submit_spec_file(spec_path, job_id)
-            accepted.append(job_id)
+            if self._submit_accepted(spec_path, job_id) == "submitted":
+                accepted.append(job_id)
         return accepted
 
     def poll_cancels(self) -> None:
-        """Honour every ``cancel`` sentinel dropped since the last poll."""
+        """Honour every pending ``cancel`` sentinel.
+
+        ``request_cancel`` on a terminal job is a no-op returning False (it
+        never raises), and once the job is terminal the sentinel is
+        consumed — renamed ``cancel.done`` — so later polls stop
+        re-cancelling finished jobs.
+        """
         for sentinel in self.jobs_dir.glob("*/cancel"):
             job_id = sentinel.parent.name
             try:
-                self.service.cancel(job_id)
+                job = self.service.job(job_id)
             except KeyError:
-                pass  # unknown or never-submitted job; leave the file as a record
+                continue  # unknown or never-submitted job; leave the file as a record
+            job.request_cancel()
+            if job.terminal:
+                os.replace(sentinel, sentinel.with_name("cancel.done"))
 
     # -- publishing -------------------------------------------------------
-    def _publish_status(self, job: Job) -> None:
-        snap = job.snapshot()
-        snap["updated_at"] = time.time()
-        final = self.jobs_dir / job.job_id / "status.json"
+    def _write_status(self, job_id: str, snap: dict[str, Any]) -> None:
+        final = self.jobs_dir / job_id / "status.json"
         final.parent.mkdir(parents=True, exist_ok=True)
         tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}")
         tmp.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
         os.replace(tmp, final)
+
+    def _publish_status(self, job: Job) -> None:
+        snap = job.snapshot()
+        snap["updated_at"] = time.time()
+        self._write_status(job.job_id, snap)
 
     def publish(self) -> None:
         """Write every job's current status; persist newly finished results."""
@@ -254,6 +326,7 @@ class DirectoryService:
                 jobs = self.service.jobs
                 if (
                     not any(self.incoming.glob("*.json"))
+                    and not self._deferred
                     and all(j.terminal for j in jobs)
                 ):
                     self.publish()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 
 from repro.service.jobs import Job, ServiceError
 
@@ -73,11 +74,23 @@ class JobQueue:
         """Dequeue the highest-priority job; None on timeout or close.
 
         Blocks up to ``timeout`` seconds (forever when None) while the
-        queue is empty and open.
+        queue is empty and open.  The wait is a deadline-aware loop, not a
+        single ``wait()``: a ``notify`` consumed by a faster consumer (the
+        notified getter reacquires the lock only after another ``get``
+        already popped the job) or a spurious wakeup re-enters the wait
+        with the remaining budget instead of returning a contract-breaking
+        ``None`` from an open queue.
         """
         with self._not_empty:
-            if not self._heap and not self._closed:
-                self._not_empty.wait(timeout)
+            if timeout is None:
+                while not self._heap and not self._closed:
+                    self._not_empty.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while not self._heap and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_empty.wait(remaining):
+                        break
             if not self._heap:
                 return None
             return heapq.heappop(self._heap)[2]

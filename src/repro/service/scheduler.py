@@ -19,9 +19,10 @@ Each worker thread loops: take the highest-priority pending job, then
    boundary), or FAILED (the exception message lands in ``job.error``).
 
 Service-level ``service.*`` counters (queue wait, run time, completion /
-failure / dedup tallies) accumulate into a shared recorder under a lock —
-:class:`~repro.observability.MetricsRecorder` counters are not themselves
-thread-safe — and merge into the run report alongside the per-job metrics.
+failure / dedup tallies) accumulate into a shared
+:class:`~repro.observability.MetricsRecorder`, whose counters are
+thread-safe (internally locked), and merge into the run report alongside
+the per-job metrics.
 """
 
 from __future__ import annotations
@@ -98,14 +99,12 @@ class Scheduler:
         self.rec = as_recorder(metrics)
         self.on_progress = on_progress
         self._clock = clock
-        self._counter_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
 
-    # -- counters (shared recorder; guard every update) -----------------
+    # -- counters (shared recorder; its counters are internally locked) --
     def _count(self, name: str, n: float = 1) -> None:
-        with self._counter_lock:
-            self.rec.count(name, n)
+        self.rec.count(name, n)
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:

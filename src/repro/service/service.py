@@ -188,12 +188,8 @@ class ReconstructionService:
             self._jobs[job_id] = job
         if on_progress is not None:
             self._subscribers[job_id] = on_progress
-        with self.scheduler._counter_lock:
-            self.rec.count("service.jobs_submitted")
-            depth = self.queue.depth
-            peak = self.rec.counters.get("service.queue_depth_peak", 0)
-            if depth > peak:
-                self.rec.counters["service.queue_depth_peak"] = depth
+        self.rec.count("service.jobs_submitted")
+        self.rec.count_max("service.queue_depth_peak", self.queue.depth)
         return job_id
 
     def job(self, job_id: str) -> Job:
@@ -258,7 +254,6 @@ class ReconstructionService:
         Counter snapshot plus the live queue depth; per-job span trees stay
         with the jobs (``job.metrics``).
         """
-        with self.scheduler._counter_lock:
-            doc = self.rec.to_dict()
+        doc = self.rec.to_dict()
         doc["counters"]["service.queue_depth"] = self.queue.depth
         return doc

@@ -260,3 +260,69 @@ class TestServiceCommands:
         assert (tmp_path / "jobs" / "cli-job" / "result.npz").exists()
         report = json.loads((tmp_path / "service.json").read_text())
         assert report["counters"]["service.jobs_completed"] == 1
+
+
+class TestHttpCommands:
+    """serve-http / loadtest: parser shape, usage errors, end-to-end load."""
+
+    def test_parser_accepts_serve_http_flags(self):
+        args = build_parser().parse_args([
+            "serve-http", "--scan-root", "/data", "--port", "0",
+            "--workers", "3", "--max-queue-depth", "8",
+        ])
+        assert args.experiment == "serve-http"
+        assert args.scan_root == "/data"
+        assert args.port == 0
+        assert args.max_queue_depth == 8
+
+    def test_serve_http_requires_scan_root(self):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["serve-http"])
+        assert exc_info.value.code == EXIT_USAGE
+
+    def test_parser_accepts_loadtest_flags(self):
+        args = build_parser().parse_args([
+            "loadtest", "http://127.0.0.1:9", "--mode", "open",
+            "--rate", "25", "--jobs", "200", "--slo", "2.5",
+            "--distinct-seeds", "6",
+        ])
+        assert args.experiment == "loadtest"
+        assert args.mode == "open"
+        assert args.rate == 25.0
+        assert args.slo == 2.5
+
+    def test_open_loop_without_rate_exits_2(self, capsys):
+        assert main(["loadtest", "http://127.0.0.1:9", "--mode", "open"]) \
+            == EXIT_USAGE
+        assert "--rate" in capsys.readouterr().err
+
+    def test_loadtest_bad_params_json_exits_2(self, capsys):
+        assert main([
+            "loadtest", "http://127.0.0.1:9", "--params", "{not json",
+        ]) == EXIT_USAGE
+        assert "JSON" in capsys.readouterr().err
+
+    def test_loadtest_against_live_gateway(self, tmp_path, capsys, scan16):
+        import json
+
+        from repro.io import save_scan
+        from repro.service import HttpGateway, ReconstructionService
+
+        save_scan(tmp_path / "scan.npz", scan16)
+        service = ReconstructionService(
+            n_workers=2, cache_dir=tmp_path / "cache", start=True
+        )
+        with HttpGateway(service, scan_root=tmp_path, own_service=True) as gw:
+            assert main([
+                "loadtest", gw.url, "--jobs", "6", "--concurrency", "3",
+                "--distinct-seeds", "2", "--slo", "120",
+                "--params", '{"max_equits": 1.0, "track_cost": false}',
+                "--report-json", str(tmp_path / "load.json"),
+            ]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "closed-loop: 6/6 jobs" in out
+        report = json.loads((tmp_path / "load.json").read_text())
+        assert report["completed"] == 6
+        assert report["server_errors_5xx"] == 0
+        assert report["slo_violations"] == 0
+        assert report["status_counts"]["201"] == 6

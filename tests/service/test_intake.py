@@ -57,15 +57,18 @@ class TestIntake:
         assert read_status(queue_dir, "rel")["state"] == "DONE"
         assert read_status(queue_dir, "abs")["state"] == "DONE"
 
-    def test_unknown_spec_keys_rejected(self, queue_dir):
+    def test_unknown_spec_keys_quarantined(self, queue_dir):
         path = write_job_spec(queue_dir, "bad", driver="icd",
                               scan_path="scan.npz", params=PARAMS)
         doc = json.loads(path.read_text())
         doc["threads"] = 64
         path.write_text(json.dumps(doc))
         with DirectoryService(queue_dir, n_workers=1) as service:
-            with pytest.raises(ValueError, match="threads"):
-                service.poll_incoming()
+            assert service.poll_incoming() == []  # never raises
+        status = read_status(queue_dir, "bad")
+        assert status["state"] == "FAILED"
+        assert status["quarantined"] is True
+        assert "threads" in status["error"]
 
     def test_priorities_pass_through(self, queue_dir):
         write_job_spec(queue_dir, "lo", driver="icd", scan_path="scan.npz",
@@ -144,3 +147,131 @@ class TestPersistentDedup:
         img_orig, _, _ = load_reconstruction(queue_dir / "jobs" / "orig" / "result.npz")
         img_dup, _, _ = load_reconstruction(queue_dir / "jobs" / "dup" / "result.npz")
         np.testing.assert_array_equal(img_orig, img_dup)
+
+
+class TestQuarantine:
+    """PR-7 bugfix: a bad spec must not crash (or permanently wedge) serving.
+
+    Pre-fix, a malformed spec raised out of ``poll_incoming`` — and since
+    the spec had already been accepted into ``jobs/<id>/spec.json``,
+    ``_recover`` re-raised on every restart, wedging the queue directory
+    for good.
+    """
+
+    def _drop_raw_spec(self, queue_dir, job_id, text):
+        incoming = queue_dir / "incoming"
+        incoming.mkdir(parents=True, exist_ok=True)
+        (incoming / f"{job_id}.json").write_text(text)
+
+    def test_unparseable_json_is_quarantined_and_good_jobs_still_run(self, queue_dir):
+        self._drop_raw_spec(queue_dir, "garbled", "{not json at all")
+        write_job_spec(queue_dir, "good", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+        bad = read_status(queue_dir, "garbled")
+        assert bad["state"] == "FAILED" and bad["quarantined"] is True
+        assert read_status(queue_dir, "good")["state"] == "DONE"
+
+    def test_unreadable_scan_is_quarantined(self, queue_dir):
+        write_job_spec(queue_dir, "noscan", driver="icd",
+                       scan_path="missing.npz", params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.poll_incoming() == []
+        status = read_status(queue_dir, "noscan")
+        assert status["state"] == "FAILED"
+        assert status["quarantined"] is True
+
+    def test_unknown_driver_is_quarantined(self, queue_dir):
+        self._drop_raw_spec(
+            queue_dir, "warp",
+            json.dumps({"driver": "warp_drive", "scan": "scan.npz"}),
+        )
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            service.poll_incoming()
+        status = read_status(queue_dir, "warp")
+        assert status["state"] == "FAILED" and "warp_drive" in status["error"]
+
+    def test_restart_after_quarantine_is_not_wedged(self, queue_dir):
+        """The pre-fix failure mode: every restart re-raised on the bad spec."""
+        write_job_spec(queue_dir, "noscan", driver="icd",
+                       scan_path="missing.npz", params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            service.poll_incoming()
+        assert read_status(queue_dir, "noscan")["state"] == "FAILED"
+
+        # Second life: constructing the service runs _recover — pre-fix this
+        # raised; post-fix the quarantined job is terminal and skipped, and
+        # new work still flows.
+        write_job_spec(queue_dir, "good", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as second:
+            assert second.service.jobs == []  # quarantined job not resubmitted
+            assert second.run(drain=True, max_seconds=120)
+        assert read_status(queue_dir, "good")["state"] == "DONE"
+        assert read_status(queue_dir, "noscan")["state"] == "FAILED"
+
+
+class TestAdmissionDeferral:
+    """PR-7 bugfix: a full queue defers an accepted spec, it is never lost."""
+
+    def test_admission_rejected_specs_requeue_on_later_polls(self, queue_dir):
+        service = DirectoryService(queue_dir, n_workers=1, max_queue_depth=1)
+        try:
+            # Park the worker so the depth-1 queue stays full deterministically.
+            service.service.scheduler.stop(wait=True)
+            for i in range(3):
+                write_job_spec(queue_dir, f"j{i}", driver="icd",
+                               scan_path="scan.npz",
+                               params=dict(PARAMS, seed=i))
+            accepted = service.poll_incoming()
+            assert len(accepted) == 1  # depth-1 queue: exactly one admitted
+            assert len(service._deferred) == 2
+            # Re-polling with the queue still full keeps deferring, not raising
+            # and not dropping.
+            assert service.poll_incoming() == []
+            assert len(service._deferred) == 2
+
+            # Once the workers drain the queue, deferred specs get admitted.
+            service.service.scheduler.start()
+            assert service.run(drain=True, max_seconds=120)
+            assert service._deferred == {}
+        finally:
+            service.close()
+        for i in range(3):
+            assert read_status(queue_dir, f"j{i}")["state"] == "DONE", f"j{i}"
+
+
+class TestCancelSentinelConsumed:
+    """PR-7 satellite: terminal jobs stop being re-cancelled on every poll."""
+
+    def test_request_cancel_on_terminal_job_is_noop_false(self, queue_dir):
+        write_job_spec(queue_dir, "j1", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+            job = service.service.job("j1")
+            assert job.state.value == "DONE"
+            # Not a JobStateError (which would kill the serve loop): a no-op.
+            assert job.request_cancel() is False
+            assert job.state.value == "DONE"
+
+    def test_sentinel_consumed_once_job_terminal(self, queue_dir):
+        write_job_spec(queue_dir, "j1", driver="icd", scan_path="scan.npz",
+                       params=PARAMS)
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+            sentinel = request_cancel(queue_dir, "j1")
+            assert sentinel.exists()
+            service.poll_cancels()
+            # Consumed: marked done so the next poll has nothing to re-cancel.
+            assert not sentinel.exists()
+            assert sentinel.with_name("cancel.done").exists()
+            service.poll_cancels()  # idempotent, nothing to do
+        assert read_status(queue_dir, "j1")["state"] == "DONE"
+
+    def test_unknown_job_sentinel_left_as_record(self, queue_dir):
+        sentinel = request_cancel(queue_dir, "ghost")
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            service.poll_cancels()
+            assert sentinel.exists()  # kept: nothing to cancel, file is a record

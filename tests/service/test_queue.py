@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import sys
 import threading
+import time
 
 import pytest
 
@@ -81,3 +83,73 @@ class TestBlockingAndClose:
         q.close()
         assert q.get(timeout=1).seq == 0
         assert q.get(timeout=0.05) is None
+
+
+class TestWaitLoopRegression:
+    """PR-7 bugfix: ``get`` must re-wait, not return None from an open queue.
+
+    Pre-fix, ``get`` waited with a single ``if``-guarded ``wait()``: when a
+    ``put`` notified consumer A but consumer B popped the job before A
+    reacquired the lock, A found the heap empty and returned ``None`` even
+    with ``timeout=None`` on an open queue — breaking the "blocks forever"
+    contract the scheduler's workers rely on.
+    """
+
+    N_PRODUCERS = 4
+    N_CONSUMERS = 4
+    JOBS_PER_PRODUCER = 250
+
+    def test_blocking_get_never_returns_none_while_open(self, scan16):
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # force the notify/pop race window open
+        try:
+            self._hammer(scan16)
+        finally:
+            sys.setswitchinterval(old)
+
+    def _hammer(self, scan16):
+        q = JobQueue()
+        n_total = self.N_PRODUCERS * self.JOBS_PER_PRODUCER
+        received: list[int] = []
+        violations: list[int] = []  # Nones observed while the queue was open
+        recv_lock = threading.Lock()
+
+        def produce(base: int):
+            for i in range(self.JOBS_PER_PRODUCER):
+                q.put(make_job(scan16, priority=i % 3, seq=base + i))
+
+        def consume():
+            while True:
+                job = q.get()  # timeout=None: must block until job or close
+                if job is None:
+                    if not q.closed:
+                        with recv_lock:
+                            violations.append(1)
+                    return
+                with recv_lock:
+                    received.append(job.seq)
+
+        consumers = [threading.Thread(target=consume) for _ in range(self.N_CONSUMERS)]
+        producers = [
+            threading.Thread(target=produce, args=(p * self.JOBS_PER_PRODUCER,))
+            for p in range(self.N_PRODUCERS)
+        ]
+        for t in consumers + producers:
+            t.start()
+        for t in producers:
+            t.join()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            with recv_lock:
+                if len(received) >= n_total:
+                    break
+            time.sleep(0.005)
+        q.close()
+        for t in consumers:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in consumers)
+        assert not violations, (
+            f"{len(violations)} blocking get(timeout=None) calls returned None "
+            f"from an open queue"
+        )
+        assert sorted(received) == list(range(n_total))

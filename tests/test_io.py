@@ -216,3 +216,47 @@ class TestCorruptionHardening:
         save_scan(tmp_path / "scan", scan32)
         assert (tmp_path / "scan.npz").exists()
         load_scan(tmp_path / "scan.npz")
+
+
+class TestConcurrentWriters:
+    """PR-7 bugfix: same-path writers from different threads must not collide.
+
+    Two service workers finishing jobs with the same cache key both write
+    ``cache/<key>.npz``.  Pre-fix the atomic-write temp name was keyed on
+    pid alone, so the threads shared one temp file: one truncated the
+    other mid-write and the loser's ``os.replace`` raised ENOENT.
+    """
+
+    def test_many_threads_one_path(self, tmp_path):
+        import sys
+        import threading
+
+        image = np.full((8, 8), 7.0)
+        path = tmp_path / "entry.npz"
+        errors = []
+        start = threading.Barrier(6)
+
+        def writer():
+            start.wait()
+            try:
+                for _ in range(25):
+                    save_reconstruction(path, image, None, metadata={"k": 1})
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [threading.Thread(target=writer) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(old)
+        assert errors == []
+        # Last writer won with a complete file; no temp litter left behind.
+        loaded, _, meta = load_reconstruction(path)
+        np.testing.assert_array_equal(loaded, image)
+        assert meta == {"k": 1}
+        assert [f.name for f in tmp_path.iterdir()] == ["entry.npz"]

@@ -13,6 +13,9 @@ Two contracts are guarded here:
 from __future__ import annotations
 
 import json
+import re
+import sys
+import threading
 
 import numpy as np
 import pytest
@@ -288,3 +291,147 @@ class TestMeasuredVsModeled:
         join = GPUTimingModel(geom32).measured_vs_modeled(res.trace, NULL_RECORDER)
         assert join["measured_s"]["total"] == 0.0
         assert join["modeled_s"]["total"] > 0.0
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def tiny_switch_interval():
+    """Force frequent GIL handoffs so read-modify-write races surface."""
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(old)
+
+
+class TestThreadSafety:
+    """Regression tests for the PR-7 concurrency fixes.
+
+    Pre-fix, ``count()`` was a bare read-modify-write (concurrent
+    increments were lost) and the span stack was shared (spans from
+    different threads interleaved into a corrupted nesting tree).
+    """
+
+    def test_concurrent_counts_lose_no_increments(self, tiny_switch_interval):
+        rec = MetricsRecorder()
+        n_threads, n_increments = 8, 5000
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(n_increments):
+                rec.count("shared")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.counters["shared"] == n_threads * n_increments
+
+    def test_count_max_is_a_high_water_mark(self):
+        rec = MetricsRecorder()
+        rec.count_max("peak", 3)
+        rec.count_max("peak", 1)
+        rec.count_max("peak", 7)
+        rec.count_max("peak", 5)
+        assert rec.counters["peak"] == 7
+
+    def test_spans_from_threads_do_not_corrupt_nesting(self, tiny_switch_interval):
+        rec = MetricsRecorder()
+        n_threads, n_spans = 6, 200
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid: int):
+            barrier.wait()
+            for i in range(n_spans):
+                with rec.span(f"outer-{tid}"):
+                    with rec.span(f"inner-{tid}"):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every root is an outer span with exactly one inner child of the
+        # *same* thread id — interleaving would nest foreign spans.
+        assert len(rec.roots) == n_threads * n_spans
+        for root in rec.roots:
+            tid = root.name.split("-")[1]
+            assert root.name == f"outer-{tid}"
+            assert root.closed
+            assert [c.name for c in root.children] == [f"inner-{tid}"]
+        totals = rec.span_totals()
+        for t in range(n_threads):
+            assert totals[f"outer-{t}"]["count"] == n_spans
+            assert totals[f"inner-{t}"]["count"] == n_spans
+
+    def test_thread_spans_nest_privately_not_under_main_thread(self):
+        rec = MetricsRecorder()
+        seen: list[list[str]] = []
+
+        def worker():
+            with rec.span("worker-span"):
+                pass
+            seen.append([s.name for s in rec.roots])
+
+        with rec.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            # The worker's span is a root of its own, not a child of the
+            # main thread's still-open span.
+            assert rec.open_spans == 1
+        main = next(s for s in rec.roots if s.name == "main-span")
+        assert [c.name for c in main.children] == []
+        assert any(s.name == "worker-span" for s in rec.roots)
+
+
+# ----------------------------------------------------------------------
+class TestPrometheusExport:
+    _SAMPLE = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+        r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? [0-9.eE+-]+$'
+    )
+
+    def _assert_parses(self, text: str) -> dict[str, float]:
+        """Minimal Prometheus text-format parser; returns {sample_line: value}."""
+        samples = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert self._SAMPLE.match(line), f"invalid sample line: {line!r}"
+            key, value = line.rsplit(" ", 1)
+            samples[key] = float(value)
+        return samples
+
+    def test_counters_spans_and_gauges_export(self):
+        rec = MetricsRecorder(clock=FakeClock())
+        rec.count("service.jobs_submitted", 3)
+        with rec.span("iteration"):
+            pass
+        text = rec.to_prometheus(gauges={"queue_depth": 2})
+        samples = self._assert_parses(text)
+        assert samples['repro_counter_total{name="service.jobs_submitted"}'] == 3
+        assert samples['repro_span_count_total{span="iteration"}'] == 1
+        assert samples['repro_span_seconds_total{span="iteration"}'] == pytest.approx(1.0)
+        assert samples['repro_gauge{name="queue_depth"}'] == 2
+        # TYPE declarations precede their samples.
+        assert text.index("# TYPE repro_counter_total counter") < text.index(
+            "repro_counter_total{"
+        )
+
+    def test_label_values_are_escaped(self):
+        rec = MetricsRecorder()
+        rec.count('weird"name\\with\nstuff')
+        text = rec.to_prometheus()
+        self._assert_parses(text)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_empty_and_null_recorders_export_valid_text(self):
+        assert MetricsRecorder().to_prometheus() == ""
+        assert NullRecorder().to_prometheus() == ""
+        text = NullRecorder().to_prometheus(gauges={"up": 1})
+        assert 'repro_gauge{name="up"} 1' in text
