@@ -157,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("queue_dir", help="the queue directory (created if missing)")
     serve.add_argument("--workers", type=int, default=2, metavar="N",
                        help="concurrently running jobs (default 2)")
+    serve.add_argument("--worker-model", choices=["thread", "process"],
+                       default="thread",
+                       help="run jobs on worker threads (default) or in "
+                       "worker subprocesses (CPU-bound jobs scale with "
+                       "cores; a killed worker resumes from checkpoints)")
+    serve.add_argument("--job-ttl", type=float, default=None, metavar="S",
+                       help="evict terminal jobs from the registry S seconds "
+                       "after they finish (default: keep forever)")
     serve.add_argument("--max-queue-depth", type=int, default=None, metavar="D",
                        help="admission-control bound on pending jobs "
                        "(default unbounded)")
@@ -199,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "scan paths resolve")
     serve_http.add_argument("--workers", type=int, default=2, metavar="N",
                             help="concurrently running jobs (default 2)")
+    serve_http.add_argument("--worker-model", choices=["thread", "process"],
+                            default="thread",
+                            help="run jobs on worker threads (default) or in "
+                            "worker subprocesses (CPU-bound jobs scale with "
+                            "cores; a killed worker resumes from checkpoints)")
+    serve_http.add_argument("--job-ttl", type=float, default=None, metavar="S",
+                            help="evict terminal jobs S seconds after they "
+                            "finish; evicted ids answer 410 "
+                            "(default: keep forever)")
     serve_http.add_argument("--max-queue-depth", type=int, default=None,
                             metavar="D",
                             help="admission-control bound on pending jobs; "
@@ -401,12 +418,15 @@ def _run_serve(args) -> None:
     service = DirectoryService(
         args.queue_dir,
         n_workers=args.workers,
+        worker_model=args.worker_model,
+        job_ttl_s=args.job_ttl,
         max_queue_depth=args.max_queue_depth,
         checkpoint_every=args.checkpoint_every,
         metrics=metrics,
         poll_s=args.poll,
     )
-    print(f"serving {args.queue_dir} with {args.workers} worker(s)"
+    print(f"serving {args.queue_dir} with {args.workers} "
+          f"{args.worker_model} worker(s)"
           + (" until drained" if args.drain else ""))
     try:
         drained = service.run(drain=args.drain, max_seconds=args.max_seconds)
@@ -467,6 +487,8 @@ def _run_serve_http(args) -> None:
 
     service = ReconstructionService(
         n_workers=args.workers,
+        worker_model=args.worker_model,
+        job_ttl_s=args.job_ttl,
         max_queue_depth=args.max_queue_depth,
         cache_dir=args.cache_dir,
         checkpoint_root=args.checkpoint_root,
@@ -481,7 +503,8 @@ def _run_serve_http(args) -> None:
         own_service=True,
     )
     print(f"gateway listening on {gateway.url} "
-          f"(scan root {args.scan_root}, {args.workers} worker(s))")
+          f"(scan root {args.scan_root}, {args.workers} "
+          f"{args.worker_model} worker(s))")
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:

@@ -25,6 +25,7 @@ from repro.service.intake import (
 from repro.service.jobs import (
     DRIVERS,
     TERMINAL_STATES,
+    EvictedJobError,
     Job,
     JobCancelledError,
     JobEvent,
@@ -37,9 +38,10 @@ from repro.service.jobs import (
 )
 from repro.service.loadgen import JobRecord, LoadReport, run_load
 from repro.service.progress import ProgressEvent, ProgressRecorder
-from repro.service.queue import AdmissionError, JobQueue
+from repro.service.queue import AdmissionError, JobQueue, QueueClosedError
+from repro.service.reaper import JobReaper
 from repro.service.runner import clear_system_cache, run_job, system_for
-from repro.service.scheduler import Scheduler
+from repro.service.scheduler import WORKER_MODELS, Scheduler
 from repro.service.service import ReconstructionService
 
 __all__ = [
@@ -50,7 +52,9 @@ __all__ = [
     "JobFailedError",
     "JobCancelledError",
     "UnknownJobError",
+    "EvictedJobError",
     "AdmissionError",
+    "QueueClosedError",
     "JobState",
     "JobEvent",
     "JobSpec",
@@ -65,6 +69,8 @@ __all__ = [
     "clear_system_cache",
     "run_job",
     "Scheduler",
+    "WORKER_MODELS",
+    "JobReaper",
     "ReconstructionService",
     "HttpGateway",
     "JobRecord",

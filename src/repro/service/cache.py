@@ -9,7 +9,10 @@ single iteration — the ``service.jobs_deduped`` counter counts these.
 
 Entries live in memory and, when a directory is given, are also persisted
 via :func:`repro.io.save_reconstruction` (``<key>.npz``), so a restarted
-service re-serves results computed by a previous life.
+service re-serves results computed by a previous life.  The in-memory tier
+can be LRU-bounded (``max_memory_entries``) for long-lived services: the
+least-recently-used volume is dropped from RAM when the bound is exceeded,
+but its disk entry (when persistence is on) keeps serving hits.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -98,14 +102,36 @@ class ResultCache:
         Optional persistence root.  Entries are written as
         ``<key>.npz`` reconstruction files; on a key miss in memory the
         directory is consulted, so the cache survives service restarts.
+    max_memory_entries:
+        LRU bound on the in-memory tier (None = unbounded, the default).
+        Bounding memory without a ``directory`` silently forgets the
+        evicted volumes; with one, evicted entries fall back to disk hits.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        max_memory_entries: int | None = None,
+    ) -> None:
+        if max_memory_entries is not None and max_memory_entries < 1:
+            raise ValueError(
+                f"max_memory_entries must be >= 1 or None, got {max_memory_entries}"
+            )
         self.directory = Path(directory) if directory is not None else None
+        self.max_memory_entries = max_memory_entries
         self._lock = threading.Lock()
-        self._memory: dict[str, CachedResult] = {}
+        self._memory: OrderedDict[str, CachedResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    def _remember(self, key: str, entry: CachedResult) -> None:
+        """Insert/refresh ``key`` as most-recent; evict past the bound."""
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        if self.max_memory_entries is not None:
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
 
     def _path_for(self, key: str) -> Path | None:
         return None if self.directory is None else self.directory / f"{key}.npz"
@@ -114,6 +140,8 @@ class ResultCache:
         """The cached result for ``key``, or None."""
         with self._lock:
             entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
         if entry is None:
             entry = self._load_from_disk(key)
         with self._lock:
@@ -121,7 +149,7 @@ class ResultCache:
                 self.misses += 1
             else:
                 self.hits += 1
-                self._memory.setdefault(key, entry)
+                self._remember(key, entry)
         return entry
 
     def _load_from_disk(self, key: str) -> CachedResult | None:
@@ -147,7 +175,7 @@ class ResultCache:
             metadata=dict(metadata or {}),
         )
         with self._lock:
-            self._memory[key] = entry
+            self._remember(key, entry)
         path = self._path_for(key)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)

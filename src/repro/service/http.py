@@ -20,7 +20,7 @@ POST      ``/jobs``               submit ``{"driver", "scan", "params",
                                   429 + ``Retry-After`` when admission control
                                   rejects (queue full); 400 malformed;
                                   409 duplicate active id; 503 closed service
-GET       ``/jobs/<id>``          status snapshot (404 unknown)
+GET       ``/jobs/<id>``          status snapshot (404 unknown, 410 evicted)
 GET       ``/jobs/<id>/result``   the reconstruction as ``result.npz`` bytes
                                   (``application/octet-stream``); optional
                                   ``?timeout=S`` blocks for a finish; 409 +
@@ -36,7 +36,14 @@ GET       ``/healthz``            liveness probe (200 once serving)
 The ``scan`` field names a scan file on the *server* (``repro.io.save_scan``
 format), resolved against the gateway's ``scan_root``; loaded scans are
 cached by (path, mtime) so a load generator submitting hundreds of jobs
-against one scan file does not re-read it per request.
+against one scan file does not re-read it per request.  The cache is
+LRU-bounded (``scan_cache_size``) so a gateway fed many distinct scan files
+over a long life does not pin them all in memory.
+
+Ids the service's TTL reaper evicted answer **410 Gone** (with
+``"evicted": true`` in the body) on status/result/cancel — distinct from
+404 for ids the service never saw — and submissions against a closing
+service's queue answer **503**.
 
 ``python -m repro serve-http`` wraps this in a CLI;
 :mod:`repro.service.loadgen` drives it under sustained load.
@@ -48,6 +55,7 @@ import json
 import re
 import tempfile
 import threading
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
@@ -57,12 +65,13 @@ from repro.io import save_reconstruction
 from repro.io import load_scan as _load_scan
 from repro.observability import MetricsRecorder
 from repro.service.jobs import (
+    EvictedJobError,
     JobSpec,
     JobState,
     JobStateError,
     UnknownJobError,
 )
-from repro.service.queue import AdmissionError
+from repro.service.queue import AdmissionError, QueueClosedError
 from repro.service.service import ReconstructionService
 
 __all__ = ["HttpGateway"]
@@ -91,6 +100,9 @@ class HttpGateway:
         submitters; it is an internal service, not an internet edge).
     retry_after_s:
         Value of the ``Retry-After`` header on 429 responses.
+    scan_cache_size:
+        LRU bound on the (path, mtime) scan cache — distinct scan files
+        held in memory at once.
     """
 
     def __init__(
@@ -101,14 +113,18 @@ class HttpGateway:
         port: int = 0,
         scan_root: str | Path | None = None,
         retry_after_s: float = 1.0,
+        scan_cache_size: int = 8,
         own_service: bool = False,
     ) -> None:
+        if scan_cache_size < 1:
+            raise ValueError(f"scan_cache_size must be >= 1, got {scan_cache_size}")
         self.service = service
         self.scan_root = Path(scan_root) if scan_root is not None else None
         self.retry_after_s = float(retry_after_s)
+        self.scan_cache_size = int(scan_cache_size)
         self._own_service = own_service
         self._scan_lock = threading.Lock()
-        self._scan_cache: dict[tuple[str, int], ScanData] = {}
+        self._scan_cache: OrderedDict[tuple[str, int], ScanData] = OrderedDict()
         handler = type("BoundHandler", (_Handler,), {"gateway": self})
         self.server = ThreadingHTTPServer((host, int(port)), handler)
         self.server.daemon_threads = True
@@ -174,14 +190,19 @@ class HttpGateway:
         key = (str(path), stat.st_mtime_ns)
         with self._scan_lock:
             cached = self._scan_cache.get(key)
-        if cached is not None:
-            return cached
+            if cached is not None:
+                self._scan_cache.move_to_end(key)
+                return cached
         loaded = _load_scan(path)
         with self._scan_lock:
             # Drop entries for stale mtimes of the same file.
             for k in [k for k in self._scan_cache if k[0] == key[0] and k != key]:
                 del self._scan_cache[k]
-            return self._scan_cache.setdefault(key, loaded)
+            entry = self._scan_cache.setdefault(key, loaded)
+            self._scan_cache.move_to_end(key)
+            while len(self._scan_cache) > self.scan_cache_size:
+                self._scan_cache.popitem(last=False)
+            return entry
 
     # -- metrics ---------------------------------------------------------
     @property
@@ -194,6 +215,7 @@ class HttpGateway:
             gauges={
                 "queue_depth": self.service.queue.depth,
                 "jobs_known": len(self.service.jobs),
+                "tombstones": self.service.tombstone_count,
             }
         )
 
@@ -325,6 +347,9 @@ class _Handler(BaseHTTPRequestHandler):
                 depth=exc.depth,
                 max_depth=exc.max_depth,
             )
+        except QueueClosedError as exc:
+            gw.rec.count("http.jobs_rejected_503")
+            return self._send_error_json(503, str(exc))
         except JobStateError as exc:
             return self._send_error_json(409, str(exc))
         except (TypeError, ValueError) as exc:  # unserialisable params etc.
@@ -340,6 +365,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_status(self, job_id: str) -> None:
         try:
             snap = self.gateway.service.status(job_id)
+        except EvictedJobError as exc:
+            return self._send_error_json(410, str(exc), evicted=True)
         except UnknownJobError:
             return self._send_error_json(404, f"unknown job id {job_id!r}")
         self._send_json(200, snap)
@@ -348,6 +375,8 @@ class _Handler(BaseHTTPRequestHandler):
         gw = self.gateway
         try:
             job = gw.service.job(job_id)
+        except EvictedJobError as exc:
+            return self._send_error_json(410, str(exc), evicted=True)
         except UnknownJobError:
             return self._send_error_json(404, f"unknown job id {job_id!r}")
         timeout = self._query().get("timeout")
@@ -398,6 +427,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _delete_job(self, job_id: str) -> None:
         try:
             cancelled = self.gateway.service.cancel(job_id)
+        except EvictedJobError as exc:
+            return self._send_error_json(410, str(exc), evicted=True)
         except UnknownJobError:
             return self._send_error_json(404, f"unknown job id {job_id!r}")
         self._send_json(202, {"job_id": job_id, "cancel_requested": cancelled})

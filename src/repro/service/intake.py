@@ -53,7 +53,7 @@ from typing import Any
 from repro.io import load_scan, save_reconstruction
 from repro.observability import MetricsRecorder
 from repro.service.jobs import TERMINAL_STATES, Job, JobSpec, JobState, JobStateError
-from repro.service.queue import AdmissionError
+from repro.service.queue import AdmissionError, QueueClosedError
 from repro.service.service import ReconstructionService
 
 __all__ = [
@@ -133,6 +133,8 @@ class DirectoryService:
         queue_dir: str | Path,
         *,
         n_workers: int = 2,
+        worker_model: str = "thread",
+        job_ttl_s: float | None = None,
         max_queue_depth: int | None = None,
         checkpoint_every: int = 1,
         metrics: MetricsRecorder | None = None,
@@ -146,6 +148,8 @@ class DirectoryService:
         self.poll_s = float(poll_s)
         self.service = ReconstructionService(
             n_workers=n_workers,
+            worker_model=worker_model,
+            job_ttl_s=job_ttl_s,
             max_queue_depth=max_queue_depth,
             checkpoint_root=self.jobs_dir,
             cache_dir=self.queue_dir / "cache",
@@ -203,7 +207,10 @@ class DirectoryService:
         try:
             self._submit_spec_file(spec_path, job_id)
             return "submitted"
-        except AdmissionError:
+        except (AdmissionError, QueueClosedError):
+            # Queue full *or* closed: the spec stays accepted and is retried
+            # later — a closing service must not quarantine valid work that a
+            # restarted one (same queue dir) would run fine.
             self._deferred[job_id] = spec_path
             return "deferred"
         except JobStateError:

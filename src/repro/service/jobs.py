@@ -38,6 +38,7 @@ __all__ = [
     "JobFailedError",
     "JobCancelledError",
     "UnknownJobError",
+    "EvictedJobError",
     "JobState",
     "TERMINAL_STATES",
     "JobEvent",
@@ -77,6 +78,16 @@ class UnknownJobError(ServiceError, KeyError):
     """No job with the given id is known to the service."""
 
 
+class EvictedJobError(UnknownJobError):
+    """The job existed but its terminal record was evicted by the TTL reaper.
+
+    A tombstone distinguishes "never heard of it" (plain
+    :class:`UnknownJobError`, HTTP 404) from "finished and aged out"
+    (this error, HTTP 410) for long-lived gateways that bound their job
+    registry with ``job_ttl_s``.
+    """
+
+
 # ----------------------------------------------------------------------
 # Lifecycle
 # ----------------------------------------------------------------------
@@ -110,7 +121,8 @@ _VALID_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
 class JobEvent:
     """One entry of a job's event log."""
 
-    kind: str  # SUBMITTED | RUNNING | CHECKPOINTED | DONE | FAILED | CANCELLED | DEDUPED
+    kind: str  # SUBMITTED | RUNNING | CHECKPOINTED | DONE | FAILED | CANCELLED
+    #            | DEDUPED | WORKER_CRASHED (process worker died; job resumed)
     at: float  # service-clock timestamp
     detail: dict[str, Any] = field(default_factory=dict)
 

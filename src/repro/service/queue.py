@@ -9,6 +9,13 @@ Admission control is a bounded depth: past ``max_depth`` pending entries,
 :meth:`JobQueue.put` raises the typed :class:`AdmissionError` immediately
 instead of blocking — backpressure the submitter can see and retry on,
 rather than an invisible ever-growing backlog.
+
+A **closed** queue rejects submissions too: :meth:`JobQueue.put` after
+:meth:`JobQueue.close` raises the typed :class:`QueueClosedError` instead
+of silently enqueueing a job no worker will ever drain (it would sit
+PENDING forever — workers only drain a queue while it is open).  The HTTP
+gateway maps it to 503 and the directory intake defers the spec for a
+later poll.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ import time
 
 from repro.service.jobs import Job, ServiceError
 
-__all__ = ["AdmissionError", "JobQueue"]
+__all__ = ["AdmissionError", "QueueClosedError", "JobQueue"]
 
 
 class AdmissionError(ServiceError):
@@ -32,6 +39,18 @@ class AdmissionError(ServiceError):
         )
         self.depth = depth
         self.max_depth = max_depth
+
+
+class QueueClosedError(ServiceError):
+    """The queue is closed; the submission was rejected, not enqueued.
+
+    Raised by :meth:`JobQueue.put` after :meth:`JobQueue.close` — a job
+    accepted into a closed queue would never be drained and would wedge
+    PENDING forever.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("job queue is closed; no further submissions accepted")
 
 
 class JobQueue:
@@ -63,8 +82,15 @@ class JobQueue:
         return len(self)
 
     def put(self, job: Job) -> None:
-        """Enqueue ``job``; raises :class:`AdmissionError` at capacity."""
+        """Enqueue ``job``.
+
+        Raises :class:`AdmissionError` at capacity and
+        :class:`QueueClosedError` after :meth:`close` — both *before*
+        enqueueing, so a rejected job is never half-accepted.
+        """
         with self._lock:
+            if self._closed:
+                raise QueueClosedError()
             if self.max_depth is not None and len(self._heap) >= self.max_depth:
                 raise AdmissionError(len(self._heap), self.max_depth)
             heapq.heappush(self._heap, (-job.spec.priority, job.seq, job))

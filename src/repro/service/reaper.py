@@ -1,0 +1,115 @@
+"""TTL eviction of terminal jobs: long-lived gateways must not grow forever.
+
+Every submission registers a :class:`~repro.service.jobs.Job` in
+``ReconstructionService._jobs`` — status snapshots, event logs, and (until
+PR 8) the full result volume — and nothing ever removed them.  Under the
+sustained load the gateway harness generates, a service that lives for
+days holds every job it ever ran.  The :class:`JobReaper` closes that
+leak:
+
+* every ``interval_s`` it asks the service to evict **terminal** jobs
+  whose ``finished_at`` is older than ``job_ttl_s`` (PENDING/RUNNING jobs
+  are never touched, no matter how old — age is measured from *finishing*,
+  not submission);
+* evicted ids leave a bounded **tombstone** behind, so the gateway can
+  answer 410 Gone ("finished and aged out") instead of 404 ("never heard
+  of it") — :class:`~repro.service.jobs.EvictedJobError` carries the
+  distinction;
+* the tally is observable: the ``service.jobs_evicted`` counter and the
+  ``tombstones`` gauge both surface in ``GET /metrics``.
+
+``job_ttl_s=None`` (the default) disables eviction entirely — no reaper
+thread is started, matching the pre-PR-8 behaviour for short-lived
+services and tests that inspect finished jobs at leisure.
+
+The reaper owns only the *cadence*; the eviction itself
+(:meth:`ReconstructionService.evict_terminal`) lives with the service,
+which owns the registry lock and the tombstone book.  ``reap_once()`` is
+public so tests (and drain hooks) can drive eviction deterministically
+with an injected clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["JobReaper"]
+
+
+class JobReaper:
+    """Periodically evicts aged-out terminal jobs from a service registry.
+
+    Parameters
+    ----------
+    service:
+        The owning :class:`~repro.service.service.ReconstructionService`
+        (anything with an ``evict_terminal(older_than_s=...)`` method).
+    job_ttl_s:
+        Age past ``finished_at`` after which a terminal job is evicted.
+        ``None`` disables the reaper (``start`` becomes a no-op).
+    interval_s:
+        Sweep cadence.  Defaults to ``job_ttl_s / 4`` clamped to
+        [50 ms, 1 s]: frequent enough that the registry tracks the TTL
+        closely, cheap enough to be invisible next to reconstruction work.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        job_ttl_s: float | None,
+        interval_s: float | None = None,
+    ) -> None:
+        if job_ttl_s is not None and job_ttl_s < 0:
+            raise ValueError(f"job_ttl_s must be >= 0 or None, got {job_ttl_s}")
+        self.service = service
+        self.job_ttl_s = job_ttl_s
+        if interval_s is None:
+            interval_s = 1.0 if job_ttl_s is None else min(max(job_ttl_s / 4, 0.05), 1.0)
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a TTL is configured (None disables eviction)."""
+        return self.job_ttl_s is not None
+
+    @property
+    def running(self) -> bool:
+        """Whether the sweep thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Start the sweep thread (no-op when disabled or already running)."""
+        if not self.enabled or self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="job-reaper", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the sweep thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    # -- sweeping -------------------------------------------------------
+    def reap_once(self) -> list[str]:
+        """One synchronous sweep; returns the evicted job ids.
+
+        Safe to call whether or not the thread is running (tests drive
+        this directly with an injected service clock).  Disabled reapers
+        evict nothing.
+        """
+        if not self.enabled:
+            return []
+        return self.service.evict_terminal(older_than_s=self.job_ttl_s)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.reap_once()

@@ -10,16 +10,28 @@ Each worker thread loops: take the highest-priority pending job, then
    *skipped* when the job already has checkpoints on disk: a mid-flight
    job whose worker died must resume, not be short-circuited by a result
    some other submission produced;
-3. run the job via :func:`~repro.service.runner.run_job` with a per-job
-   checkpoint directory (``<root>/<job_id>/checkpoints``) and
-   ``resume_from="latest"``, streaming progress through a per-job
-   :class:`~repro.service.progress.ProgressRecorder`;
+3. run the job with a per-job checkpoint directory
+   (``<root>/<job_id>/checkpoints``) and ``resume_from="latest"``,
+   streaming progress through a per-job
+   :class:`~repro.service.progress.ProgressRecorder`.  Under
+   ``worker_model="thread"`` (the default) the driver runs on the worker
+   thread itself via :func:`~repro.service.runner.run_job`; under
+   ``worker_model="process"`` the worker thread instead supervises a
+   worker *subprocess* (:mod:`repro.service.worker`) so concurrent
+   NumPy-light jobs stop serialising on the GIL — progress and cancel are
+   relayed over a pipe / shared flag, the result comes back as the repo's
+   npz container, and a crashed (SIGKILL'd) subprocess is respawned to
+   resume bit-identically from the job's newest checkpoint;
 4. file the outcome: DONE (result stored in the cache), CANCELLED (the
    cooperative :class:`JobCancelledError` surfaced at an iteration
    boundary), or FAILED (the exception message lands in ``job.error``).
+   Terminal filing is race-tolerant: if the job went terminal concurrently
+   (a cancel filed elsewhere racing an induced failure), the losing
+   transition is dropped instead of killing the worker thread with a
+   :class:`JobStateError`.
 
 Service-level ``service.*`` counters (queue wait, run time, completion /
-failure / dedup tallies) accumulate into a shared
+failure / dedup / worker-crash tallies) accumulate into a shared
 :class:`~repro.observability.MetricsRecorder`, whose counters are
 thread-safe (internally locked), and merge into the run report alongside
 the per-job metrics.
@@ -34,19 +46,27 @@ from typing import Callable
 
 from repro.observability import MetricsRecorder, as_recorder
 from repro.service.cache import ResultCache
-from repro.service.jobs import Job, JobCancelledError, JobState
+from repro.service.jobs import Job, JobCancelledError, JobState, JobStateError
 from repro.service.progress import ProgressEvent, ProgressRecorder
 from repro.service.queue import JobQueue
-from repro.service.runner import run_job
+from repro.service.runner import run_job, system_for
+from repro.service.worker import load_worker_result, mp_context, process_worker_main
 
-__all__ = ["Scheduler"]
+__all__ = ["WORKER_MODELS", "Scheduler"]
+
+#: Worker execution models: jobs on pool threads vs. on worker subprocesses.
+WORKER_MODELS = ("thread", "process")
 
 #: how long an idle worker blocks on the queue before re-checking shutdown.
 _POLL_S = 0.1
 
+#: how long the process-model supervisor blocks on the progress pipe before
+#: re-checking the cancel flag and the child's liveness.
+_RELAY_POLL_S = 0.05
+
 
 class Scheduler:
-    """Runs queued jobs on ``n_workers`` concurrent worker threads.
+    """Runs queued jobs on ``n_workers`` concurrent workers.
 
     Parameters
     ----------
@@ -57,6 +77,17 @@ class Scheduler:
         ``<job_id>/checkpoints`` snapshot store.
     n_workers:
         Number of concurrently running jobs.
+    worker_model:
+        ``"thread"`` (default) runs each job's driver on the worker thread;
+        ``"process"`` runs it in a worker subprocess supervised by the
+        thread, so CPU-bound jobs scale with cores instead of serialising
+        on the GIL.  Results are bit-identical across models (same
+        ``run_job`` path either way), so they share cache entries.
+    max_restarts:
+        Process model only: how many times one job's crashed (no-verdict)
+        worker subprocess is respawned to resume from checkpoints before
+        the job is filed FAILED.  Guards against a job that is itself the
+        crash trigger (e.g. the OOM killer) looping forever.
     checkpoint_every:
         Snapshot cadence (iterations) for every job.
     driver_defaults:
@@ -82,6 +113,8 @@ class Scheduler:
         *,
         checkpoint_root: str | Path,
         n_workers: int = 2,
+        worker_model: str = "thread",
+        max_restarts: int = 2,
         checkpoint_every: int = 1,
         driver_defaults: dict | None = None,
         metrics: MetricsRecorder | None = None,
@@ -90,10 +123,18 @@ class Scheduler:
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if worker_model not in WORKER_MODELS:
+            raise ValueError(
+                f"unknown worker_model {worker_model!r}; use one of {WORKER_MODELS}"
+            )
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
         self.queue = queue
         self.cache = cache
         self.checkpoint_root = Path(checkpoint_root)
         self.n_workers = int(n_workers)
+        self.worker_model = worker_model
+        self.max_restarts = int(max_restarts)
         self.checkpoint_every = int(checkpoint_every)
         self.driver_defaults = dict(driver_defaults) if driver_defaults else None
         self.rec = as_recorder(metrics)
@@ -108,7 +149,23 @@ class Scheduler:
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the worker threads (idempotent while running).
+
+        After a :meth:`stop` the pool restarts cleanly: the previous
+        worker generation is joined first (so two generations never serve
+        at once) and a fresh one is spawned against the still-open queue.
+        A scheduler whose queue was *closed* (final shutdown) cannot be
+        restarted — that raises instead of spawning workers that would
+        spin on a queue no submission can ever reach again.
+        """
+        if self.queue.closed:
+            raise RuntimeError("cannot start: the job queue is closed (final shutdown)")
+        if self._stop.is_set():
+            # A stopped generation may still be winding down; join it so
+            # the restart never runs two generations side by side.
+            for t in self._threads:
+                t.join()
+        self._threads = [t for t in self._threads if t.is_alive()]
         if self._threads:
             return
         self._stop.clear()
@@ -117,18 +174,26 @@ class Scheduler:
             t.start()
             self._threads.append(t)
 
-    def stop(self, *, wait: bool = True) -> None:
-        """Stop taking new jobs; optionally join the workers.
+    def stop(self, *, wait: bool = True, close: bool = False) -> None:
+        """Stop the workers; optionally join them and close the queue.
 
-        Jobs already running finish (or get cancelled by their owners);
-        jobs still queued stay PENDING.
+        Jobs already running finish (or get cancelled by their owners).
+        The queue stays **open** unless ``close=True`` (final shutdown):
+        submissions keep queueing while the pool is parked, and a later
+        :meth:`start` serves them — ``stop``/``start`` is pause/resume,
+        not teardown.  With ``wait=False`` the worker threads keep
+        winding down in the background; :attr:`running` stays True until
+        they actually exit (the thread list is only pruned once joined),
+        and a premature :meth:`start` joins them before spawning the next
+        generation.
         """
         self._stop.set()
-        self.queue.close()
+        if close:
+            self.queue.close()  # also wakes getters blocked without timeout
         if wait:
             for t in self._threads:
                 t.join()
-        self._threads = []
+            self._threads = []
 
     @property
     def running(self) -> bool:
@@ -140,6 +205,27 @@ class Scheduler:
         """Where a job's checkpoints live (stable across worker lives)."""
         return self.checkpoint_root / job_id / "checkpoints"
 
+    def _file_terminal(self, job: Job, state: JobState, **detail) -> bool:
+        """Transition ``job`` terminal, tolerating a lost race.
+
+        A failure filing can race a concurrent cancel (or any other
+        terminal transition filed outside this worker): ``transition``
+        then raises :class:`JobStateError` because the job is already
+        terminal.  That is a lost race, not a scheduler bug — swallow it
+        (the job IS terminal, which is all the caller needs) and return
+        False so the caller skips the loser's accounting.  A
+        :class:`JobStateError` on a job that is *not* terminal is a real
+        state-machine violation and propagates.
+        """
+        try:
+            job.transition(state, **detail)
+            return True
+        except JobStateError:
+            if job.terminal:
+                self._count("service.terminal_races")
+                return False
+            raise
+
     def _worker(self) -> None:
         while True:
             job = self.queue.get(timeout=_POLL_S)
@@ -150,15 +236,14 @@ class Scheduler:
             try:
                 self._execute(job)
             except Exception as exc:  # never let a worker thread die silently
-                if not job.terminal:
-                    job.transition(JobState.FAILED, error=f"worker error: {exc}")
+                if self._file_terminal(job, JobState.FAILED, error=f"worker error: {exc}"):
                     self._count("service.jobs_failed")
 
     def _execute(self, job: Job) -> None:
         self._count("service.queue_wait_s", self._clock() - job.submitted_at)
         if job.cancel_requested:
-            job.transition(JobState.CANCELLED)
-            self._count("service.jobs_cancelled")
+            if self._file_terminal(job, JobState.CANCELLED):
+                self._count("service.jobs_cancelled")
             return
 
         ckpt_dir = self.checkpoint_dir_for(job.job_id)
@@ -167,33 +252,41 @@ class Scheduler:
         if job.cache_key is not None and not has_checkpoints:
             entry = self.cache.get(job.cache_key)
             if entry is not None:
+                # A cancel can land between the check above and here (the
+                # cancel-vs-dedup window): the cache hit is instantaneous
+                # completion, so DONE wins — PENDING → DONE is valid even
+                # with the cancel flag set, and the requester simply finds
+                # the job finished.
                 job.result = entry
                 job.from_cache = True
                 job.record_event("DEDUPED", cache_key=job.cache_key)
-                job.transition(JobState.DONE, from_cache=True)
-                self._count("service.jobs_deduped")
-                self._count("service.jobs_completed")
+                if self._file_terminal(job, JobState.DONE, from_cache=True):
+                    self._count("service.jobs_deduped")
+                    self._count("service.jobs_completed")
                 return
 
         job.transition(JobState.RUNNING, resumed=has_checkpoints)
-        recorder = ProgressRecorder(job, self.on_progress)
-        job.metrics = recorder
         started = self._clock()
         try:
-            result = run_job(
-                job.spec,
-                checkpoint_dir=ckpt_dir,
-                checkpoint_every=self.checkpoint_every,
-                metrics=recorder,
-                driver_defaults=self.driver_defaults,
-            )
+            if self.worker_model == "process":
+                result = self._run_in_process(job, ckpt_dir)
+            else:
+                recorder = ProgressRecorder(job, self.on_progress)
+                job.metrics = recorder
+                result = run_job(
+                    job.spec,
+                    checkpoint_dir=ckpt_dir,
+                    checkpoint_every=self.checkpoint_every,
+                    metrics=recorder,
+                    driver_defaults=self.driver_defaults,
+                )
         except JobCancelledError:
-            job.transition(JobState.CANCELLED, iteration=job.iteration)
-            self._count("service.jobs_cancelled")
+            if self._file_terminal(job, JobState.CANCELLED, iteration=job.iteration):
+                self._count("service.jobs_cancelled")
             return
         except Exception as exc:
-            job.transition(JobState.FAILED, error=str(exc))
-            self._count("service.jobs_failed")
+            if self._file_terminal(job, JobState.FAILED, error=str(exc)):
+                self._count("service.jobs_failed")
             return
         finally:
             self._count("service.run_s", self._clock() - started)
@@ -205,5 +298,113 @@ class Scheduler:
                 result,
                 metadata={"job_id": job.job_id, "driver": job.spec.driver},
             )
-        job.transition(JobState.DONE)
-        self._count("service.jobs_completed")
+        if self._file_terminal(job, JobState.DONE):
+            self._count("service.jobs_completed")
+
+    # -- process worker model -------------------------------------------
+    def _emit_progress(self, event: ProgressEvent) -> None:
+        if self.on_progress is not None:
+            self.on_progress(event)
+
+    def _relay(self, job: Job, message: tuple) -> None:
+        """Mirror one child progress message onto the parent-side job."""
+        kind, iteration, duration = message[0], int(message[1]), message[2]
+        if kind == "iteration":
+            job.note_iteration(iteration, duration)
+        else:
+            job.note_checkpoint(iteration)
+        self._emit_progress(
+            ProgressEvent(
+                job_id=job.job_id, kind=kind, iteration=iteration, duration_s=duration
+            )
+        )
+
+    def _run_in_process(self, job: Job, ckpt_dir: Path):
+        """Supervise ``job`` through worker subprocess lives.
+
+        Spawns a worker subprocess per life, relays its progress stream
+        onto the job, mirrors ``request_cancel`` into the shared cancel
+        flag, and turns its verdict into the same outcomes the thread
+        model produces (``JobCancelledError`` for a cooperative cancel, an
+        exception for FAILED, the loaded result container for DONE).  A
+        life that dies with no verdict — SIGKILL, segfault, OOM — is
+        respawned up to ``max_restarts`` times; ``run_job`` in the fresh
+        child resumes from the job's newest checkpoint bit-identically.
+        """
+        # Build the (process-wide, read-only) system matrix in the parent
+        # first: forked children inherit it copy-on-write instead of each
+        # rebuilding it from scratch.
+        system_for(job.spec.scan.geometry)
+        ctx = mp_context()
+        restarts = 0
+        while True:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            cancel_event = ctx.Event()
+            if job.cancel_requested:
+                cancel_event.set()
+            proc = ctx.Process(
+                target=process_worker_main,
+                args=(
+                    child_conn,
+                    cancel_event,
+                    job.spec,
+                    str(ckpt_dir),
+                    self.checkpoint_every,
+                    self.driver_defaults,
+                ),
+                name=f"recon-job-{job.job_id}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()  # parent keeps only the receiving end
+            verdict = None
+            try:
+                while True:
+                    if job.cancel_requested and not cancel_event.is_set():
+                        cancel_event.set()
+                    if parent_conn.poll(_RELAY_POLL_S):
+                        try:
+                            message = parent_conn.recv()
+                        except EOFError:  # child gone mid-message
+                            break
+                        if message[0] in ("iteration", "checkpoint"):
+                            self._relay(job, message)
+                        else:
+                            verdict = message
+                            break
+                    elif not proc.is_alive():
+                        # Dead and the pipe is drained: no verdict is coming.
+                        if not parent_conn.poll(0):
+                            break
+            finally:
+                parent_conn.close()
+            proc.join()
+
+            if verdict is not None:
+                kind, payload = verdict
+                if kind == "done":
+                    if isinstance(payload, dict):
+                        # The child's counter snapshot stands in for the
+                        # thread model's per-job recorder (span trees stay
+                        # in the child; counters are what report consumers
+                        # read).
+                        job_rec = MetricsRecorder()
+                        job_rec.merge_counters(payload)
+                        job.metrics = job_rec
+                    return load_worker_result(ckpt_dir)
+                if kind == "cancelled":
+                    raise JobCancelledError(payload)
+                raise RuntimeError(payload)  # kind == "failed"
+
+            # No verdict: the worker process died under the job.
+            restarts += 1
+            self._count("service.worker_crashes")
+            job.record_event(
+                "WORKER_CRASHED", exitcode=proc.exitcode, restarts=restarts
+            )
+            if restarts > self.max_restarts:
+                raise RuntimeError(
+                    f"worker process died {restarts} times without a verdict "
+                    f"(last exitcode {proc.exitcode}); giving up after "
+                    f"max_restarts={self.max_restarts}"
+                )

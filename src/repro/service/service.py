@@ -24,12 +24,14 @@ import tempfile
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.observability import MetricsRecorder
 from repro.service.cache import ResultCache, cache_key
 from repro.service.jobs import (
+    EvictedJobError,
     Job,
     JobCancelledError,
     JobFailedError,
@@ -40,10 +42,15 @@ from repro.service.jobs import (
 )
 from repro.service.progress import ProgressEvent
 from repro.service.queue import JobQueue
+from repro.service.reaper import JobReaper
 from repro.service.runner import cache_key_defaults
 from repro.service.scheduler import Scheduler
 
 __all__ = ["ReconstructionService"]
+
+#: Upper bound on remembered evicted ids: tombstones answer 410 instead of
+#: 404, but an unbounded tombstone book would just move the leak.
+_MAX_TOMBSTONES = 10_000
 
 
 class ReconstructionService:
@@ -53,6 +60,23 @@ class ReconstructionService:
     ----------
     n_workers:
         Concurrently running jobs.
+    worker_model:
+        ``"thread"`` (default) or ``"process"`` — see
+        :class:`~repro.service.scheduler.Scheduler`.  Process workers let
+        CPU-bound jobs scale with cores instead of serialising on the
+        GIL, and a SIGKILL'd worker subprocess resumes its job from
+        checkpoints without the service going down.
+    max_restarts:
+        Process model only: crashed-worker respawns per job before FAILED.
+    job_ttl_s:
+        TTL for *terminal* jobs in the registry: once a job has been DONE
+        / FAILED / CANCELLED for this long, the
+        :class:`~repro.service.reaper.JobReaper` evicts it; its id then
+        raises :class:`~repro.service.jobs.EvictedJobError` (HTTP 410)
+        instead of growing the registry forever.  ``None`` (default)
+        disables eviction.
+    reap_interval_s:
+        Reaper sweep cadence (default: ``job_ttl_s / 4``, clamped).
     max_queue_depth:
         Admission-control bound on *pending* jobs (None = unbounded);
         :meth:`submit` raises
@@ -77,9 +101,14 @@ class ReconstructionService:
         self,
         *,
         n_workers: int = 2,
+        worker_model: str = "thread",
+        max_restarts: int = 2,
+        job_ttl_s: float | None = None,
+        reap_interval_s: float | None = None,
         max_queue_depth: int | None = None,
         checkpoint_root: str | Path | None = None,
         cache_dir: str | Path | None = None,
+        cache_memory_entries: int | None = None,
         checkpoint_every: int = 1,
         driver_defaults: dict | None = None,
         metrics: MetricsRecorder | None = None,
@@ -96,9 +125,11 @@ class ReconstructionService:
 
         self.rec = metrics if metrics is not None else MetricsRecorder()
         self.queue = JobQueue(max_depth=max_queue_depth)
-        self.cache = ResultCache(cache_dir)
+        self.cache = ResultCache(cache_dir, max_memory_entries=cache_memory_entries)
         self._jobs: dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
+        #: evicted-id tombstones (insertion-ordered; oldest dropped first)
+        self._evicted: OrderedDict[str, None] = OrderedDict()
         self._seq = itertools.count()
         self._subscribers: dict[str, Callable[[ProgressEvent], None]] = {}
         self._on_progress = on_progress
@@ -107,11 +138,16 @@ class ReconstructionService:
             self.cache,
             checkpoint_root=self.checkpoint_root,
             n_workers=n_workers,
+            worker_model=worker_model,
+            max_restarts=max_restarts,
             checkpoint_every=checkpoint_every,
             driver_defaults=driver_defaults,
             metrics=self.rec,
             on_progress=self._dispatch_progress,
             clock=clock,
+        )
+        self.reaper = JobReaper(
+            self, job_ttl_s=job_ttl_s, interval_s=reap_interval_s
         )
         self._closed = False
         if start:
@@ -127,17 +163,19 @@ class ReconstructionService:
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
-        """Start (or restart) the worker pool."""
+        """Start (or restart) the worker pool and, when enabled, the reaper."""
         if self._closed:
             raise RuntimeError("service is closed")
         self.scheduler.start()
+        self.reaper.start()
 
     def close(self) -> None:
-        """Stop the workers and release the temporary checkpoint root."""
+        """Stop the workers, close the queue, release the temp checkpoint root."""
         if self._closed:
             return
         self._closed = True
-        self.scheduler.stop(wait=True)
+        self.reaper.stop()
+        self.scheduler.stop(wait=True, close=True)
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
@@ -183,9 +221,12 @@ class ReconstructionService:
             cache_key=cache_key(spec.driver, spec.scan, key_params),
             clock=self._clock,
         )
-        self.queue.put(job)  # AdmissionError propagates before registration
+        self.queue.put(job)  # Admission/QueueClosed errors propagate before registration
         with self._jobs_lock:
             self._jobs[job_id] = job
+            # A resubmitted id supersedes its tombstone: the fresh job owns
+            # the id again (stable-id crash recovery relies on this).
+            self._evicted.pop(job_id, None)
         if on_progress is not None:
             self._subscribers[job_id] = on_progress
         self.rec.count("service.jobs_submitted")
@@ -193,11 +234,20 @@ class ReconstructionService:
         return job_id
 
     def job(self, job_id: str) -> Job:
-        """The live :class:`Job` for ``job_id`` (raises UnknownJobError)."""
+        """The live :class:`Job` for ``job_id``.
+
+        Raises :class:`EvictedJobError` for an id the TTL reaper evicted
+        (a tombstone remains — HTTP 410) and plain
+        :class:`UnknownJobError` for an id never seen (HTTP 404).
+        """
         with self._jobs_lock:
             try:
                 return self._jobs[job_id]
             except KeyError:
+                if job_id in self._evicted:
+                    raise EvictedJobError(
+                        f"job {job_id!r} finished and was evicted after its TTL"
+                    ) from None
                 raise UnknownJobError(f"unknown job id {job_id!r}") from None
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -241,6 +291,41 @@ class ReconstructionService:
                 return False
         return True
 
+    # -- eviction (driven by the JobReaper) ------------------------------
+    def evict_terminal(self, *, older_than_s: float) -> list[str]:
+        """Evict terminal jobs finished at least ``older_than_s`` ago.
+
+        Non-terminal jobs are never evicted regardless of age.  Evicted
+        ids leave a bounded tombstone (so :meth:`job` raises
+        :class:`EvictedJobError`, not plain unknown), their progress
+        subscribers are dropped, and ``service.jobs_evicted`` counts the
+        evictions.  Returns the evicted ids.
+        """
+        now = self._clock()
+        evicted: list[str] = []
+        with self._jobs_lock:
+            for job_id, job in list(self._jobs.items()):
+                if not job.terminal or job.finished_at is None:
+                    continue
+                if now - job.finished_at < older_than_s:
+                    continue
+                del self._jobs[job_id]
+                self._evicted[job_id] = None
+                self._evicted.move_to_end(job_id)
+                evicted.append(job_id)
+                self._subscribers.pop(job_id, None)
+            while len(self._evicted) > _MAX_TOMBSTONES:
+                self._evicted.popitem(last=False)
+        if evicted:
+            self.rec.count("service.jobs_evicted", len(evicted))
+        return evicted
+
+    @property
+    def tombstone_count(self) -> int:
+        """Evicted ids currently remembered (answering 410 instead of 404)."""
+        with self._jobs_lock:
+            return len(self._evicted)
+
     # -- introspection ---------------------------------------------------
     @property
     def jobs(self) -> list[Job]:
@@ -251,9 +336,13 @@ class ReconstructionService:
     def report(self) -> dict[str, Any]:
         """The service-level metrics report (``service.*`` counters).
 
-        Counter snapshot plus the live queue depth; per-job span trees stay
-        with the jobs (``job.metrics``).
+        Counter snapshot plus the live queue depth, registry size, and
+        tombstone count; per-job span trees stay with the jobs
+        (``job.metrics``).
         """
         doc = self.rec.to_dict()
         doc["counters"]["service.queue_depth"] = self.queue.depth
+        with self._jobs_lock:
+            doc["counters"]["service.jobs_known"] = len(self._jobs)
+            doc["counters"]["service.tombstones"] = len(self._evicted)
         return doc

@@ -1,0 +1,180 @@
+"""Process-backed job execution: the child side of ``worker_model="process"``.
+
+Thread workers (the default) serialise on the GIL whenever a job's hot loop
+is NumPy-light — which is exactly what the per-voxel ICD sweep is — so a
+scheduler configured with ``worker_model="process"`` runs each
+:func:`~repro.service.runner.run_job` in a worker *subprocess* instead.
+This module is that subprocess: :func:`process_worker_main` is the
+``multiprocessing.Process`` target, and the protocol back to the scheduler
+is deliberately tiny:
+
+* **progress** flows child → parent over a one-way pipe as small tuples
+  (``("iteration", i, dur)`` / ``("checkpoint", i, dur)``), re-emitted by
+  the parent as the same :class:`~repro.service.progress.ProgressEvent`
+  stream thread workers produce;
+* **cancel** flows parent → child through a shared
+  ``multiprocessing.Event`` checked at every iteration boundary (the same
+  cooperative point the thread model uses), raising
+  :class:`~repro.service.jobs.JobCancelledError` out of the driver loop;
+* **the result** never crosses the pipe: the child persists it with the
+  repo's npz reconstruction container (``result-worker.npz`` next to the
+  job's ``checkpoints/`` dir, atomic write) and sends a one-line verdict;
+  the parent loads the container back.  Volumes can be large; verdicts
+  are not;
+* **crashes need no protocol at all**: a SIGKILL'd child simply never
+  sends a verdict.  The parent notices the dead process and respawns it —
+  ``run_job`` resumes from the job's newest checkpoint bit-identically,
+  exactly like the service-restart kill drill, except the service never
+  went down.
+
+Children are forked where the platform allows it, so the parent's
+process-wide system-matrix cache (and any warmed-up JIT state) is
+inherited copy-on-write instead of being rebuilt per job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+
+from repro.io import load_reconstruction, save_reconstruction
+from repro.observability import MetricsRecorder, Span
+from repro.service.cache import CachedResult
+from repro.service.jobs import JobCancelledError, JobSpec
+from repro.service.runner import run_job
+
+__all__ = [
+    "mp_context",
+    "worker_result_path",
+    "load_worker_result",
+    "process_worker_main",
+]
+
+#: Basename of the child-written result container (sibling of checkpoints/).
+_RESULT_BASENAME = "result-worker.npz"
+
+
+def mp_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context worker processes are spawned from.
+
+    ``fork`` when the platform offers it: children inherit the parent's
+    built system matrices and compiled kernels copy-on-write, so per-job
+    startup is a process clone, not a fresh interpreter.  Elsewhere the
+    platform default (``spawn``) is used — job specs and results already
+    travel by pickle/file, so only startup latency differs.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def worker_result_path(checkpoint_dir: str | Path) -> Path:
+    """Where a worker process deposits its finished reconstruction."""
+    return Path(checkpoint_dir).parent / _RESULT_BASENAME
+
+
+def load_worker_result(checkpoint_dir: str | Path) -> CachedResult:
+    """Load the child-written result container back into the parent.
+
+    Raises :class:`~repro.io.CorruptFileError` for a torn file (the child
+    writes atomically, so this indicates disk-level trouble, and the
+    scheduler files the job FAILED with the error) and
+    :class:`FileNotFoundError` if the child claimed success without
+    writing — both are worker-side failures the parent must surface.
+    """
+    image, history, metadata = load_reconstruction(worker_result_path(checkpoint_dir))
+    return CachedResult(image=image, history=history, metadata=metadata)
+
+
+class _RelayRecorder(MetricsRecorder):
+    """Child-side recorder: pipes progress out, honours the cancel flag.
+
+    The process-model twin of :class:`~repro.service.progress.ProgressRecorder`:
+    the drivers' ``iteration`` / ``checkpoint_save`` span closes become pipe
+    messages instead of direct ``Job`` mutations (the ``Job`` object lives in
+    the parent), and the cancel check reads the shared event the parent sets
+    when ``request_cancel`` arrives.
+    """
+
+    def __init__(self, conn, cancel_event) -> None:
+        super().__init__()
+        self._conn = conn
+        self._cancel = cancel_event
+
+    def _send(self, message: tuple) -> None:
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            # An orphaned child keeps computing: checkpoints make the work
+            # durable, and the next service life resumes from them.
+            pass
+
+    def _pop(self, span: Span) -> None:
+        super()._pop(span)
+        meta = span.meta or {}
+        if span.name == "iteration":
+            iteration = int(meta.get("index", 0))
+            self._send(("iteration", iteration, span.duration))
+            if self._cancel.is_set():
+                raise JobCancelledError(f"cancelled at iteration {iteration}")
+        elif span.name == "checkpoint_save":
+            self._send(("checkpoint", int(meta.get("iteration", 0)), span.duration))
+
+
+def process_worker_main(
+    conn,
+    cancel_event,
+    spec: JobSpec,
+    checkpoint_dir: str,
+    checkpoint_every: int,
+    driver_defaults: dict | None,
+) -> None:
+    """Run one job in this worker process and report a verdict.
+
+    The last message on ``conn`` is the verdict tuple —
+    ``("done", counters)``, ``("cancelled", detail)``, or
+    ``("failed", error)`` — after any number of progress tuples.  A crash
+    (SIGKILL, segfault, OOM kill) sends nothing; the parent treats pipe
+    EOF without a verdict as "respawn and resume from checkpoints".
+    """
+    try:
+        recorder = _RelayRecorder(conn, cancel_event)
+        try:
+            result = run_job(
+                spec,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                metrics=recorder,
+                driver_defaults=driver_defaults,
+            )
+        except JobCancelledError as exc:
+            conn.send(("cancelled", str(exc)))
+            return
+        except BaseException as exc:  # the verdict IS the error channel
+            conn.send(("failed", f"{type(exc).__name__}: {exc}"))
+            return
+        try:
+            # The job dir may not exist yet: a short job can finish before
+            # its first checkpoint ever created it.
+            result_path = worker_result_path(checkpoint_dir)
+            result_path.parent.mkdir(parents=True, exist_ok=True)
+            save_reconstruction(
+                result_path,
+                result.image,
+                getattr(result, "history", None),
+                metadata={"job_id": spec.job_id or "", "driver": spec.driver},
+            )
+        except BaseException as exc:
+            # A save failure must be a FAILED verdict, not a silent clean
+            # exit — the outer OSError guard below is only for a dead pipe.
+            conn.send(("failed", f"result save failed: {type(exc).__name__}: {exc}"))
+            return
+        conn.send(("done", dict(recorder.counters)))
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

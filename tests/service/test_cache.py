@@ -88,3 +88,37 @@ class TestPersistentCache:
 
         fresh = ResultCache(tmp_path)
         assert fresh.get("k") is None
+
+
+class TestMemoryLRUBound:
+    """PR-8: the in-memory tier can be bounded for long-lived services."""
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_memory_entries=2)
+        cache.put("a", _result([1.0]))
+        cache.put("b", _result([2.0]))
+        assert cache.get("a") is not None  # refresh a: b is now the LRU
+        cache.put("c", _result([3.0]))    # evicts b
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_unbounded_by_default(self):
+        cache = ResultCache()
+        for i in range(50):
+            cache.put(f"k{i}", _result([float(i)]))
+        assert len(cache) == 50
+
+    def test_evicted_entry_falls_back_to_disk(self, tmp_path):
+        cache = ResultCache(tmp_path, max_memory_entries=1)
+        cache.put("a", _result([1.0]))
+        cache.put("b", _result([2.0]))  # evicts a from memory
+        assert len(cache) == 1
+        hit = cache.get("a")  # reloaded from <key>.npz
+        assert hit is not None
+        np.testing.assert_array_equal(hit.image, [1.0])
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_memory_entries"):
+            ResultCache(max_memory_entries=0)

@@ -289,3 +289,77 @@ class TestConcurrentClients:
                 np.testing.assert_array_equal(image, by_seed[seed])
             else:
                 by_seed[seed] = image
+
+
+class TestEvictionAndShutdown:
+    """PR-8: TTL-evicted ids answer 410, closed-queue submissions 503."""
+
+    def test_evicted_job_is_410_everywhere(self, tmp_path, scan16):
+        from repro.io import save_scan as _save_scan
+
+        _save_scan(tmp_path / "scan.npz", scan16)
+        service = ReconstructionService(
+            n_workers=1, job_ttl_s=3600.0, reap_interval_s=3600.0, start=True
+        )
+        with HttpGateway(service, scan_root=tmp_path, own_service=True) as gw:
+            code, _, doc = submit(gw)
+            assert code == 201
+            job_id = doc["job_id"]
+            code, _, _ = http(gw, "GET", f"/jobs/{job_id}/result?timeout=120")
+            assert code == 200
+
+            # Evict deterministically instead of waiting out the TTL.
+            evicted = service.evict_terminal(older_than_s=0.0)
+            assert evicted == [job_id]
+
+            for method, path in [
+                ("GET", f"/jobs/{job_id}"),
+                ("GET", f"/jobs/{job_id}/result"),
+                ("DELETE", f"/jobs/{job_id}"),
+            ]:
+                code, _, body = http_json(gw, method, path)
+                assert code == 410, (method, path)
+                assert body["evicted"] is True
+            # Never-seen ids still distinguish as 404.
+            code, _, _ = http_json(gw, "GET", "/jobs/never-seen")
+            assert code == 404
+            # The tombstone shows up as a gauge.
+            _, _, raw = http(gw, "GET", "/metrics")
+            assert 'repro_gauge{name="tombstones"} 1' in raw.decode()
+
+    def test_submit_against_closed_queue_is_503(self, gateway):
+        gateway.service.scheduler.stop(wait=True, close=True)
+        code, _, body = submit(gateway)
+        assert code == 503
+        assert "closed" in body["error"]
+        counters = gateway.service.report()["counters"]
+        assert counters["http.jobs_rejected_503"] == 1
+
+
+class TestScanCacheLRU:
+    def test_scan_cache_evicts_least_recently_used(self, tmp_path, scan16):
+        from repro.io import save_scan as _save_scan
+
+        for i in range(3):
+            _save_scan(tmp_path / f"scan-{i}.npz", scan16)
+        service = ReconstructionService(n_workers=1, start=False)
+        with HttpGateway(
+            service, scan_root=tmp_path, scan_cache_size=2, own_service=True
+        ) as gw:
+            gw.load_scan("scan-0.npz")
+            gw.load_scan("scan-1.npz")
+            gw.load_scan("scan-0.npz")  # refresh 0: now 1 is the LRU entry
+            gw.load_scan("scan-2.npz")  # evicts 1
+            cached = [k[0] for k in gw._scan_cache]
+            assert len(cached) == 2
+            assert str(tmp_path / "scan-1.npz") not in cached
+            assert str(tmp_path / "scan-0.npz") in cached
+            assert str(tmp_path / "scan-2.npz") in cached
+
+    def test_invalid_scan_cache_size_rejected(self, scan16):
+        service = ReconstructionService(n_workers=1, start=False)
+        try:
+            with pytest.raises(ValueError, match="scan_cache_size"):
+                HttpGateway(service, scan_cache_size=0)
+        finally:
+            service.close()

@@ -275,3 +275,40 @@ class TestCancelSentinelConsumed:
         with DirectoryService(queue_dir, n_workers=1) as service:
             service.poll_cancels()
             assert sentinel.exists()  # kept: nothing to cancel, file is a record
+
+
+class TestClosedQueueDeferral:
+    """PR-8: a closed queue defers accepted specs instead of quarantining.
+
+    A spec that arrives while the service is shutting down is valid work —
+    a restarted server against the same queue directory must run it, so the
+    intake files it as deferred (like admission rejection), never as a
+    terminal FAILED quarantine.
+    """
+
+    def test_spec_against_closed_queue_is_deferred_not_quarantined(self, queue_dir):
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            service.service.scheduler.stop(wait=True, close=True)
+            write_job_spec(queue_dir, "late", driver="icd", scan_path="scan.npz",
+                           params=PARAMS)
+            assert service.poll_incoming() == []
+            assert "late" in service._deferred
+            # Not quarantined: no terminal FAILED status was published.
+            status = read_status(queue_dir, "late")
+            assert status is None or status["state"] != "FAILED"
+
+        # A second life against the same queue directory runs the spec.
+        with DirectoryService(queue_dir, n_workers=1) as service:
+            assert service.run(drain=True, max_seconds=120)
+        assert read_status(queue_dir, "late")["state"] == "DONE"
+
+    def test_worker_model_and_ttl_pass_through(self, queue_dir):
+        with DirectoryService(
+            queue_dir, n_workers=1, worker_model="process", job_ttl_s=3600.0
+        ) as service:
+            assert service.service.scheduler.worker_model == "process"
+            assert service.service.reaper.enabled
+            write_job_spec(queue_dir, "p1", driver="icd", scan_path="scan.npz",
+                           params=PARAMS)
+            assert service.run(drain=True, max_seconds=240)
+        assert read_status(queue_dir, "p1")["state"] == "DONE"

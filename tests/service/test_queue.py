@@ -8,7 +8,14 @@ import time
 
 import pytest
 
-from repro.service import AdmissionError, Job, JobQueue, JobSpec
+from repro.service import (
+    AdmissionError,
+    Job,
+    JobQueue,
+    JobSpec,
+    QueueClosedError,
+    ServiceError,
+)
 
 
 def make_job(scan, *, priority=0, seq=0, job_id=None):
@@ -83,6 +90,29 @@ class TestBlockingAndClose:
         q.close()
         assert q.get(timeout=1).seq == 0
         assert q.get(timeout=0.05) is None
+
+    def test_put_after_close_raises_typed_error(self, scan16):
+        """PR-8 bugfix: a closed queue must reject submissions.
+
+        Pre-fix, ``put`` after ``close`` silently enqueued the job: with
+        the workers gone (close is final shutdown), it sat PENDING forever
+        and ``result()`` waiters hung until their timeout.
+        """
+        q = JobQueue()
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.put(make_job(scan16, seq=0))
+        assert len(q) == 0  # the rejected job was never enqueued
+
+    def test_queue_closed_error_is_a_service_error(self):
+        # The gateway/intake map it like the other typed rejections.
+        assert issubclass(QueueClosedError, ServiceError)
+
+    def test_closed_property(self, scan16):
+        q = JobQueue()
+        assert not q.closed
+        q.close()
+        assert q.closed
 
 
 class TestWaitLoopRegression:
