@@ -15,15 +15,18 @@
     python -m repro cancel QUEUE_DIR JOB_ID
     python -m repro serve-http --scan-root DIR [--port 8080] [--workers 2]
     python -m repro loadtest URL [--mode open --rate 20] [--jobs 200]
+    python -m repro chaos [--campaigns 20] [--seed 0] [--worker-model both]
 
 Each experiment prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured record); ``profile`` runs
 instrumented reconstructions (see :mod:`repro.observability`); the
 ``serve`` / ``submit`` / ``status`` / ``cancel`` family speaks the queue
 directory protocol of :mod:`repro.service.intake`; ``serve-http`` fronts
-the service with the REST gateway of :mod:`repro.service.http`, and
+the service with the REST gateway of :mod:`repro.service.http`,
 ``loadtest`` drives any such gateway with the closed/open-loop generator
-of :mod:`repro.service.loadgen`.
+of :mod:`repro.service.loadgen`, and ``chaos`` runs seeded fault-injection
+campaigns (:mod:`repro.service.chaos`) against a real service, exiting
+non-zero on any invariant violation.
 
 Exit codes are distinct by failure class: 0 success, 1 runtime failure
 (an experiment or job blew up), 2 usage error (bad arguments —
@@ -162,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run jobs on worker threads (default) or in "
                        "worker subprocesses (CPU-bound jobs scale with "
                        "cores; a killed worker resumes from checkpoints)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=None,
+                       metavar="S",
+                       help="kill a process worker silent for S seconds and "
+                       "resume its job from the newest checkpoint "
+                       "(process model only; default: no supervision)")
+    serve.add_argument("--job-deadline", type=float, default=None, metavar="S",
+                       help="fail any job still running after S seconds of "
+                       "wall clock (default: no deadline)")
     serve.add_argument("--job-ttl", type=float, default=None, metavar="S",
                        help="evict terminal jobs from the registry S seconds "
                        "after they finish (default: keep forever)")
@@ -212,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="run jobs on worker threads (default) or in "
                             "worker subprocesses (CPU-bound jobs scale with "
                             "cores; a killed worker resumes from checkpoints)")
+    serve_http.add_argument("--heartbeat-timeout", type=float, default=None,
+                            metavar="S",
+                            help="kill a process worker silent for S seconds "
+                            "and resume its job from the newest checkpoint "
+                            "(process model only; default: no supervision)")
+    serve_http.add_argument("--job-deadline", type=float, default=None,
+                            metavar="S",
+                            help="fail any job still running after S seconds "
+                            "of wall clock (default: no deadline)")
     serve_http.add_argument("--job-ttl", type=float, default=None, metavar="S",
                             help="evict terminal jobs S seconds after they "
                             "finish; evicted ids answer 410 "
@@ -264,6 +284,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip fetching result bytes (status-only load)")
     loadtest.add_argument("--report-json", default=None, metavar="PATH",
                           help="write the load report as JSON")
+
+    chaos = sub.add_parser(
+        "chaos", help="run seeded fault-injection campaigns against the service"
+    )
+    chaos.add_argument("--campaigns", type=int, default=20, metavar="N",
+                       help="number of seeded campaigns (default 20)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed; campaign i uses seed+i (default 0)")
+    chaos.add_argument("--jobs", type=int, default=6, metavar="N",
+                       help="jobs per campaign (default 6)")
+    chaos.add_argument("--worker-model", choices=["thread", "process", "both"],
+                       default="both",
+                       help="execution model(s) to campaign against; 'both' "
+                       "alternates per campaign (default both)")
+    chaos.add_argument("--report-json", default=None, metavar="PATH",
+                       help="write the campaign summary as JSON")
 
     status = sub.add_parser("status", help="print a job's last status snapshot")
     status.add_argument("queue_dir")
@@ -419,6 +455,8 @@ def _run_serve(args) -> None:
         args.queue_dir,
         n_workers=args.workers,
         worker_model=args.worker_model,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        job_deadline_s=args.job_deadline,
         job_ttl_s=args.job_ttl,
         max_queue_depth=args.max_queue_depth,
         checkpoint_every=args.checkpoint_every,
@@ -488,6 +526,8 @@ def _run_serve_http(args) -> None:
     service = ReconstructionService(
         n_workers=args.workers,
         worker_model=args.worker_model,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        job_deadline_s=args.job_deadline,
         job_ttl_s=args.job_ttl,
         max_queue_depth=args.max_queue_depth,
         cache_dir=args.cache_dir,
@@ -551,6 +591,43 @@ def _run_loadtest(args) -> None:
         )
 
 
+def _run_chaos(args) -> None:
+    from repro.service.chaos import run_campaigns, summarize
+
+    if args.campaigns < 1:
+        raise UsageError(f"--campaigns must be >= 1, got {args.campaigns}")
+    if args.jobs < 2:
+        raise UsageError(f"--jobs must be >= 2, got {args.jobs}")
+    models = (
+        ("thread", "process") if args.worker_model == "both" else (args.worker_model,)
+    )
+    results = run_campaigns(
+        args.campaigns,
+        seed=args.seed,
+        worker_models=models,
+        n_jobs=args.jobs,
+        progress=print,
+    )
+    summary = summarize(results)
+    print(
+        f"{summary['campaigns']} campaigns, {summary['total_jobs']} jobs, "
+        f"{summary['total_duration_s']:.1f}s total -> "
+        + ("all invariants held" if summary["ok"]
+           else f"{len(summary['violations'])} INVARIANT VIOLATIONS")
+    )
+    if args.report_json:
+        with open(args.report_json, "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"chaos report written to {args.report_json}")
+    if not summary["ok"]:
+        for v in summary["violations"]:
+            print(f"  violation: {v}", file=sys.stderr)
+        raise RuntimeError(
+            f"{len(summary['violations'])} chaos invariant violation(s)"
+        )
+
+
 _SERVICE_COMMANDS = {
     "serve": _run_serve,
     "submit": _run_submit,
@@ -558,6 +635,7 @@ _SERVICE_COMMANDS = {
     "cancel": _run_cancel,
     "serve-http": _run_serve_http,
     "loadtest": _run_loadtest,
+    "chaos": _run_chaos,
 }
 
 

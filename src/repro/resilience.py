@@ -747,11 +747,21 @@ class ResilienceHooks:
                     self._restore_inplace(ckpt, x, e, rng, history, selector)
                 return ckpt.iteration, ckpt.total_updates
         if self.manager is not None and iteration % self.checkpoint_every == 0:
-            with self.rec.span("checkpoint_save", iteration=iteration):
-                self.manager.save(
+            with self.rec.span("checkpoint_save", iteration=iteration) as span:
+                saved = self.manager.save(
                     self._build(iteration, total_updates, x, e, rng, history, selector)
                 )
-            self.rec.count("checkpoint.saves", 1)
+                if saved is None:
+                    # A degrading manager suppressed the save (disk fault).
+                    # Mark the span so progress recorders don't report a
+                    # checkpoint that never hit the disk.
+                    meta = getattr(span, "meta", None)
+                    if meta is not None:
+                        meta["suppressed"] = True
+            if saved is None:
+                self.rec.count("checkpoint.saves_suppressed", 1)
+            else:
+                self.rec.count("checkpoint.saves", 1)
         return None
 
     # -- internals ------------------------------------------------------

@@ -15,6 +15,22 @@ Entry points: :class:`ReconstructionService` (in-process),
 """
 
 from repro.service.cache import CachedResult, ResultCache, cache_key
+from repro.service.chaos import (
+    ChaosPlan,
+    CampaignResult,
+    run_campaign,
+    run_campaigns,
+    summarize,
+)
+from repro.service.faults import (
+    DegradableWriter,
+    DegradingCheckpointManager,
+    RetryPolicy,
+    arm_disk_fault,
+    check_disk_fault,
+    disarm_disk_fault,
+    next_backoff,
+)
 from repro.service.http import HttpGateway
 from repro.service.intake import (
     DirectoryService,
@@ -28,11 +44,13 @@ from repro.service.jobs import (
     EvictedJobError,
     Job,
     JobCancelledError,
+    JobDeadlineError,
     JobEvent,
     JobFailedError,
     JobSpec,
     JobState,
     JobStateError,
+    ResultPersistError,
     ServiceError,
     UnknownJobError,
 )
@@ -51,6 +69,8 @@ __all__ = [
     "JobStateError",
     "JobFailedError",
     "JobCancelledError",
+    "JobDeadlineError",
+    "ResultPersistError",
     "UnknownJobError",
     "EvictedJobError",
     "AdmissionError",
@@ -80,4 +100,16 @@ __all__ = [
     "write_job_spec",
     "read_status",
     "request_cancel",
+    "next_backoff",
+    "RetryPolicy",
+    "DegradableWriter",
+    "DegradingCheckpointManager",
+    "check_disk_fault",
+    "arm_disk_fault",
+    "disarm_disk_fault",
+    "ChaosPlan",
+    "CampaignResult",
+    "run_campaign",
+    "run_campaigns",
+    "summarize",
 ]

@@ -13,6 +13,12 @@ service re-serves results computed by a previous life.  The in-memory tier
 can be LRU-bounded (``max_memory_entries``) for long-lived services: the
 least-recently-used volume is dropped from RAM when the bound is exceeded,
 but its disk entry (when persistence is on) keeps serving hits.
+
+The disk tier is best-effort redundancy, never load-bearing: an
+``OSError`` on a persist (ENOSPC, EIO, read-only remount) keeps the
+in-memory entry and counts ``disk_write_failures``; an ``OSError`` on a
+read-back is a miss that recomputes, counting ``disk_read_failures``.  A
+sick cache volume therefore costs dedup hit-rate, not jobs.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import numpy as np
 from repro.core.convergence import RunHistory
 from repro.ct.sinogram import ScanData
 from repro.io import CorruptFileError, load_reconstruction, save_reconstruction
+from repro.service.faults import check_disk_fault
 
 __all__ = ["cache_key", "CachedResult", "ResultCache"]
 
@@ -124,6 +131,10 @@ class ResultCache:
         self._memory: OrderedDict[str, CachedResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: disk-tier persists that failed with OSError (entry stayed in RAM)
+        self.disk_write_failures = 0
+        #: disk-tier read-backs that failed with OSError (served as a miss)
+        self.disk_read_failures = 0
 
     def _remember(self, key: str, entry: CachedResult) -> None:
         """Insert/refresh ``key`` as most-recent; evict past the bound."""
@@ -154,12 +165,18 @@ class ResultCache:
 
     def _load_from_disk(self, key: str) -> CachedResult | None:
         path = self._path_for(key)
-        if path is None or not path.is_file():
-            return None
         try:
+            if path is None or not path.is_file():
+                return None
+            check_disk_fault(path.parent)
             image, history, metadata = load_reconstruction(path)
         except CorruptFileError:
             # A torn entry is a miss, not an outage; recompute and overwrite.
+            return None
+        except OSError:
+            # An unreadable disk tier is likewise a miss, not an outage.
+            with self._lock:
+                self.disk_read_failures += 1
             return None
         return CachedResult(image=image, history=history, metadata=metadata)
 
@@ -178,8 +195,18 @@ class ResultCache:
             self._remember(key, entry)
         path = self._path_for(key)
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            save_reconstruction(path, entry.image, entry.history, metadata=entry.metadata)
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                check_disk_fault(path.parent)
+                save_reconstruction(
+                    path, entry.image, entry.history, metadata=entry.metadata
+                )
+            except OSError:
+                # Persistence is redundancy: the memory tier keeps serving
+                # this entry, and the next put after the fault clears will
+                # land on disk again.
+                with self._lock:
+                    self.disk_write_failures += 1
         return entry
 
     def __contains__(self, key: str) -> bool:

@@ -19,7 +19,8 @@ POST      ``/jobs``               submit ``{"driver", "scan", "params",
                                   "priority", "job_id"?}`` → 201 + job id;
                                   429 + ``Retry-After`` when admission control
                                   rejects (queue full); 400 malformed;
-                                  409 duplicate active id; 503 closed service
+                                  409 duplicate active id; 503 +
+                                  ``Retry-After`` closed/closing service
 GET       ``/jobs/<id>``          status snapshot (404 unknown, 410 evicted)
 GET       ``/jobs/<id>/result``   the reconstruction as ``result.npz`` bytes
                                   (``application/octet-stream``); optional
@@ -30,7 +31,10 @@ DELETE    ``/jobs/<id>``          request cancellation → 202 (404 unknown)
 GET       ``/metrics``            Prometheus text format: every recorder
                                   counter + span total, plus live gauges
                                   (queue depth, known jobs)
-GET       ``/healthz``            liveness probe (200 once serving)
+GET       ``/healthz``            liveness + degradation probe: 200 once
+                                  serving, body reports ``"degraded": true``
+                                  plus reasons while checkpoint writes are
+                                  failing or hung workers have been killed
 ========  ======================  =============================================
 
 The ``scan`` field names a scan file on the *server* (``repro.io.save_scan``
@@ -43,7 +47,8 @@ over a long life does not pin them all in memory.
 Ids the service's TTL reaper evicted answer **410 Gone** (with
 ``"evicted": true`` in the body) on status/result/cancel — distinct from
 404 for ids the service never saw — and submissions against a closing
-service's queue answer **503**.
+service's queue answer **503** with a ``Retry-After`` hint, so clients use
+the same backoff discipline for drain windows as for admission control.
 
 ``python -m repro serve-http`` wraps this in a CLI;
 :mod:`repro.service.loadgen` drives it under sustained load.
@@ -289,7 +294,9 @@ class _Handler(BaseHTTPRequestHandler):
         if route == "/metrics":
             return self._get_metrics()
         if route == "/healthz":
-            return self._send_json(200, {"status": "ok"})
+            # "degraded" is advisory (still serving): checkpoint-write
+            # degradation or hung-worker kills, with reasons listed.
+            return self._send_json(200, self.gateway.service.health())
         m = _RESULT_PATH.match(route)
         if m:
             return self._get_result(m.group("job_id"))
@@ -349,13 +356,19 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except QueueClosedError as exc:
             gw.rec.count("http.jobs_rejected_503")
-            return self._send_error_json(503, str(exc))
+            # 503 is backpressure too (drain/restart windows): give clients
+            # the same Retry-After hint the 429 path sends.
+            return self._send_error_json(
+                503, str(exc), headers={"Retry-After": f"{gw.retry_after_s:g}"}
+            )
         except JobStateError as exc:
             return self._send_error_json(409, str(exc))
         except (TypeError, ValueError) as exc:  # unserialisable params etc.
             return self._send_error_json(400, f"bad submission: {exc}")
         except RuntimeError as exc:  # service closed
-            return self._send_error_json(503, str(exc))
+            return self._send_error_json(
+                503, str(exc), headers={"Retry-After": f"{gw.retry_after_s:g}"}
+            )
         self._send_json(
             201,
             {"job_id": job_id, "state": gw.service.status(job_id)["state"]},

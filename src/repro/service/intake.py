@@ -44,6 +44,7 @@ Only the serve loop writes ``status.json`` (single-writer, temp-file +
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
@@ -52,6 +53,7 @@ from typing import Any
 
 from repro.io import load_scan, save_reconstruction
 from repro.observability import MetricsRecorder
+from repro.service.faults import check_disk_fault
 from repro.service.jobs import TERMINAL_STATES, Job, JobSpec, JobState, JobStateError
 from repro.service.queue import AdmissionError, QueueClosedError
 from repro.service.service import ReconstructionService
@@ -134,6 +136,8 @@ class DirectoryService:
         *,
         n_workers: int = 2,
         worker_model: str = "thread",
+        heartbeat_timeout_s: float | None = None,
+        job_deadline_s: float | None = None,
         job_ttl_s: float | None = None,
         max_queue_depth: int | None = None,
         checkpoint_every: int = 1,
@@ -149,6 +153,8 @@ class DirectoryService:
         self.service = ReconstructionService(
             n_workers=n_workers,
             worker_model=worker_model,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            job_deadline_s=job_deadline_s,
             job_ttl_s=job_ttl_s,
             max_queue_depth=max_queue_depth,
             checkpoint_root=self.jobs_dir,
@@ -157,6 +163,9 @@ class DirectoryService:
             metrics=metrics,
             start=True,
         )
+        #: status/result writes that failed with OSError (retried next poll)
+        self.status_write_failures = 0
+        self.result_write_failures = 0
         self._persisted: set[str] = set()
         self._deferred: dict[str, Path] = {}  # admission-rejected, retry next poll
         self._recover()
@@ -274,12 +283,26 @@ class DirectoryService:
                 os.replace(sentinel, sentinel.with_name("cancel.done"))
 
     # -- publishing -------------------------------------------------------
-    def _write_status(self, job_id: str, snap: dict[str, Any]) -> None:
+    def _write_status(self, job_id: str, snap: dict[str, Any]) -> bool:
+        """Atomically publish one status snapshot; False on a disk fault.
+
+        A failed write leaves the previous snapshot in place (readers see
+        stale-but-whole state) and is retried on the next publish round —
+        the intake loop is its own retry schedule, so no backoff here.
+        """
         final = self.jobs_dir / job_id / "status.json"
-        final.parent.mkdir(parents=True, exist_ok=True)
         tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}")
-        tmp.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, final)
+        try:
+            final.parent.mkdir(parents=True, exist_ok=True)
+            check_disk_fault(final.parent)
+            tmp.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, final)
+        except OSError:
+            self.status_write_failures += 1
+            with contextlib.suppress(OSError):
+                tmp.unlink(missing_ok=True)
+            return False
+        return True
 
     def _publish_status(self, job: Job) -> None:
         snap = job.snapshot()
@@ -295,17 +318,24 @@ class DirectoryService:
                 and job.job_id not in self._persisted
                 and job.result is not None
             ):
-                save_reconstruction(
-                    self.jobs_dir / job.job_id / "result.npz",
-                    job.result.image,
-                    getattr(job.result, "history", None),
-                    metadata={
-                        "job_id": job.job_id,
-                        "driver": job.spec.driver,
-                        "from_cache": job.from_cache,
-                    },
-                )
-                self._persisted.add(job.job_id)
+                try:
+                    check_disk_fault(self.jobs_dir / job.job_id)
+                    save_reconstruction(
+                        self.jobs_dir / job.job_id / "result.npz",
+                        job.result.image,
+                        getattr(job.result, "history", None),
+                        metadata={
+                            "job_id": job.job_id,
+                            "driver": job.spec.driver,
+                            "from_cache": job.from_cache,
+                        },
+                    )
+                except OSError:
+                    # The in-memory result is intact; not marking the job
+                    # persisted makes the next publish round the retry.
+                    self.result_write_failures += 1
+                else:
+                    self._persisted.add(job.job_id)
 
     # -- the loop ---------------------------------------------------------
     def step(self) -> None:

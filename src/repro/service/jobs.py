@@ -37,6 +37,8 @@ __all__ = [
     "JobStateError",
     "JobFailedError",
     "JobCancelledError",
+    "JobDeadlineError",
+    "ResultPersistError",
     "UnknownJobError",
     "EvictedJobError",
     "JobState",
@@ -72,6 +74,29 @@ class JobCancelledError(ServiceError):
     progress stream checks the job's cancel token there) and by
     ``result()`` waiters of a CANCELLED job.
     """
+
+
+class JobDeadlineError(ServiceError):
+    """The job exceeded its wall-clock budget (``job_deadline_s``).
+
+    Process workers are SIGKILLed at the deadline; thread workers stop
+    cooperatively at the next iteration boundary.  Either way the job
+    files FAILED with this error's message in the detail.
+    """
+
+
+class ResultPersistError(ServiceError):
+    """The finished result could not be written to disk.
+
+    Checkpoint, cache, and status writes *degrade* under disk faults —
+    the job keeps computing and completes.  The result container is the
+    one irreplaceable artifact: when its write still fails after the
+    retry budget, the job files FAILED with the errno in the detail.
+    """
+
+    def __init__(self, message: str, *, errno: int | None = None) -> None:
+        super().__init__(message)
+        self.errno = errno
 
 
 class UnknownJobError(ServiceError, KeyError):
@@ -123,6 +148,9 @@ class JobEvent:
 
     kind: str  # SUBMITTED | RUNNING | CHECKPOINTED | DONE | FAILED | CANCELLED
     #            | DEDUPED | WORKER_CRASHED (process worker died; job resumed)
+    #            | WORKER_HUNG (silent/over-deadline worker killed; job resumed)
+    #            | CHECKPOINT_DEGRADED / CHECKPOINT_RECOVERED (disk-fault
+    #              degradation of the checkpoint write path)
     at: float  # service-clock timestamp
     detail: dict[str, Any] = field(default_factory=dict)
 
@@ -156,9 +184,12 @@ class JobSpec:
     fault:
         Test-only fault-injection hook (mirrors the drivers' public
         ``fault_injection=``): ``{"kill_at_iteration": N}`` SIGKILLs the
-        worker process after iteration ``N`` — but only on a job's *first*
-        life (a job resuming from checkpoints never re-arms the fault), so
-        kill-and-resume drills terminate.
+        worker process after iteration ``N``; an optional ``"signal"`` key
+        (an int or a name like ``"SIGSTOP"``) sends that signal instead —
+        ``SIGSTOP`` produces an alive-but-hung worker for heartbeat
+        drills.  The fault arms only on a job's *first* life (a job
+        resuming from checkpoints never re-arms it), so kill-and-resume
+        drills terminate.
     """
 
     driver: str

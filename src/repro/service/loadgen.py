@@ -22,19 +22,26 @@ aggregates p50/p95/p99 end-to-end latency (submit → terminal observed),
 achieved throughput, per-status-code counts, the 429 rate, 5xx count, and
 SLO violations (jobs whose latency exceeded ``slo_s``).
 
-Zero dependencies beyond the standard library (``urllib``); NumPy never
-touches the measurement path.  ``python -m repro loadtest`` is the CLI.
+The measurement path is standard library only (``urllib`` + ``time``);
+NumPy never touches it.  Closed-loop 429 retries back off with
+*decorrelated jitter* (:func:`repro.service.faults.next_backoff`) floored
+at the server's ``Retry-After`` hint, so a thundering herd of rejected
+clients does not re-collide in lockstep.  ``python -m repro loadtest`` is
+the CLI.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.service.faults import next_backoff
 
 __all__ = ["JobRecord", "LoadReport", "default_spec_factory", "run_load"]
 
@@ -317,9 +324,17 @@ def run_load(
     deadline = t0 + drain_timeout_s
 
     def submit(record: JobRecord, *, retry_429: bool) -> bool:
-        """POST one job; True once accepted.  Closed loops retry 429s."""
+        """POST one job; True once accepted.  Closed loops retry 429s.
+
+        Retries back off with decorrelated jitter (seeded per record, so a
+        run is reproducible): the server's ``Retry-After`` is the floor, but
+        ``concurrency`` clients sleeping the *same* literal hint would wake
+        in lockstep and re-collide on the admission gate.
+        """
         body = factory(record.index)
         record.priority = int(body.get("priority", 0))
+        rng = random.Random(record.index)
+        delay: float | None = None
         while True:
             code, headers, payload = _request(
                 base_url, "POST", "/jobs", body, timeout=request_timeout_s
@@ -334,9 +349,15 @@ def run_load(
                 if not retry_429 or record.rejected_429 > max_submit_retries:
                     return False
                 retry_after = float(headers.get("Retry-After") or poll_s)
-                if time.monotonic() + retry_after >= deadline:
+                delay = next_backoff(
+                    delay if delay is not None else retry_after,
+                    base_s=retry_after,
+                    cap_s=5.0,
+                    rng=rng,
+                )
+                if time.monotonic() + delay >= deadline:
                     return False
-                time.sleep(min(retry_after, 5.0))
+                time.sleep(delay)
                 continue
             record.error = f"submit -> {code}: {payload[:200]!r}"
             return False

@@ -20,11 +20,12 @@ per-iteration timing breakdown remains inspectable after completion.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.observability import MetricsRecorder, Span
-from repro.service.jobs import Job, JobCancelledError
+from repro.service.jobs import Job, JobCancelledError, JobDeadlineError
 
 __all__ = ["ProgressEvent", "ProgressRecorder"]
 
@@ -54,10 +55,30 @@ class ProgressRecorder(MetricsRecorder):
         self,
         job: Job,
         on_progress: Callable[[ProgressEvent], None] | None = None,
+        *,
+        on_fault: Callable[[Job, str, dict], None] | None = None,
+        deadline: float | None = None,
     ) -> None:
         super().__init__()
         self._job = job
         self._on_progress = on_progress
+        self._on_fault = on_fault
+        #: ``time.monotonic()`` instant past which the job is over budget
+        #: (thread workers can't be killed, so the deadline is enforced
+        #: cooperatively at the same boundary the cancel check uses).
+        self._deadline = deadline
+
+    def note_fault(self, kind: str, **detail: Any) -> None:
+        """File a fault transition (CHECKPOINT_DEGRADED/...) against the job.
+
+        With an ``on_fault`` callback (the scheduler's bookkeeping hook)
+        the callback owns recording; standalone recorders log the event
+        directly.
+        """
+        if self._on_fault is not None:
+            self._on_fault(self._job, kind, detail)
+        else:
+            self._job.record_event(kind, **detail)
 
     def _emit(self, event: ProgressEvent) -> None:
         if self._on_progress is not None:
@@ -81,7 +102,12 @@ class ProgressRecorder(MetricsRecorder):
                 raise JobCancelledError(
                     f"job {self._job.job_id} cancelled at iteration {iteration}"
                 )
-        elif span.name == "checkpoint_save":
+            if self._deadline is not None and time.monotonic() >= self._deadline:
+                raise JobDeadlineError(
+                    f"job {self._job.job_id} exceeded its wall-clock deadline "
+                    f"at iteration {iteration}"
+                )
+        elif span.name == "checkpoint_save" and not meta.get("suppressed"):
             iteration = int(meta.get("iteration", 0))
             self._job.note_checkpoint(iteration)
             self._emit(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import inspect
+import signal as signal_mod
 import threading
 from pathlib import Path
 from typing import Any
@@ -32,7 +33,8 @@ from repro.core.icd import icd_reconstruct
 from repro.core.psv_icd import psv_icd_reconstruct
 from repro.ct.geometry import ParallelBeamGeometry
 from repro.ct.system_matrix import SystemMatrix, build_system_matrix
-from repro.resilience import CheckpointManager, FaultInjector, IntegritySentinel
+from repro.resilience import FaultInjector, IntegritySentinel
+from repro.service.faults import DegradingCheckpointManager
 from repro.service.jobs import JobSpec
 
 __all__ = ["system_for", "clear_system_cache", "run_job", "cache_key_defaults"]
@@ -122,13 +124,26 @@ def _split_gpu_params(params: dict[str, Any]) -> dict[str, Any]:
 
 
 def fault_sentinel(fault: dict[str, Any] | None) -> IntegritySentinel | None:
-    """Build the kill-drill sentinel for a spec's ``fault`` hook, if any."""
+    """Build the kill-drill sentinel for a spec's ``fault`` hook, if any.
+
+    ``{"kill_at_iteration": N}`` SIGKILLs the worker at iteration ``N``;
+    an optional ``"signal"`` (int or name, e.g. ``"SIGSTOP"``) is sent
+    instead — SIGSTOP leaves the worker alive but silent, the hang the
+    heartbeat supervisor exists to catch.
+    """
     if not fault:
         return None
+    unknown = set(fault) - {"kill_at_iteration", "signal"}
     kill_at = fault.get("kill_at_iteration")
-    if kill_at is None:
+    if unknown or kill_at is None:
         raise ValueError(f"unsupported fault spec {fault!r}")
-    injector = FaultInjector().kill_at(int(kill_at))
+    sig = fault.get("signal", signal_mod.SIGKILL)
+    if isinstance(sig, str):
+        resolved = getattr(signal_mod, sig, None)
+        if resolved is None:
+            raise ValueError(f"unknown signal {sig!r} in fault spec {fault!r}")
+        sig = resolved
+    injector = FaultInjector().kill_at(int(kill_at), sig=int(sig))
     return IntegritySentinel(fault_injector=injector)
 
 
@@ -170,7 +185,10 @@ def run_job(
     if spec.driver == "gpu_icd":
         kwargs = _split_gpu_params(kwargs)
 
-    manager = CheckpointManager(checkpoint_dir)
+    # Degrading manager: a disk fault on the checkpoint directory suspends
+    # checkpointing (CHECKPOINT_DEGRADED on the job, periodic re-probe)
+    # instead of failing an otherwise-healthy reconstruction.
+    manager = DegradingCheckpointManager(checkpoint_dir, recorder=metrics)
     first_life = not manager.paths()
     sentinel = fault_sentinel(spec.fault) if first_life else None
 

@@ -39,6 +39,7 @@ the per-job metrics.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from pathlib import Path
@@ -46,11 +47,23 @@ from typing import Callable
 
 from repro.observability import MetricsRecorder, as_recorder
 from repro.service.cache import ResultCache
-from repro.service.jobs import Job, JobCancelledError, JobState, JobStateError
+from repro.service.jobs import (
+    Job,
+    JobCancelledError,
+    JobDeadlineError,
+    JobState,
+    JobStateError,
+    ResultPersistError,
+)
 from repro.service.progress import ProgressEvent, ProgressRecorder
 from repro.service.queue import JobQueue
 from repro.service.runner import run_job, system_for
-from repro.service.worker import load_worker_result, mp_context, process_worker_main
+from repro.service.worker import (
+    load_worker_result,
+    mp_context,
+    process_worker_main,
+    worker_verdict_path,
+)
 
 __all__ = ["WORKER_MODELS", "Scheduler"]
 
@@ -85,9 +98,27 @@ class Scheduler:
         ``run_job`` path either way), so they share cache entries.
     max_restarts:
         Process model only: how many times one job's crashed (no-verdict)
-        worker subprocess is respawned to resume from checkpoints before
-        the job is filed FAILED.  Guards against a job that is itself the
-        crash trigger (e.g. the OOM killer) looping forever.
+        or killed-for-hanging worker subprocess is respawned to resume
+        from checkpoints before the job is filed FAILED.  Guards against a
+        job that is itself the crash trigger (e.g. the OOM killer) looping
+        forever.
+    heartbeat_timeout_s:
+        Process model only: a worker subprocess whose pipe stays silent —
+        no progress, fault, or heartbeat message of any kind — for this
+        long while still alive is presumed hung (deadlocked, SIGSTOPped,
+        wedged in native code) and SIGKILLed; the job resumes from its
+        newest checkpoint, counted against ``max_restarts`` with a
+        ``WORKER_HUNG`` event and the ``service.workers_hung`` counter.
+        ``None`` (default) disables the watchdog.  Children are told to
+        heartbeat at a quarter of this interval.
+    job_deadline_s:
+        Wall-clock budget for one job across all of its worker lives.
+        Process workers are SIGKILLed at the deadline (same WORKER_HUNG
+        accounting; respawns past the deadline die immediately, so the
+        job fails after ``max_restarts``); thread workers stop
+        cooperatively at the next iteration boundary with
+        :class:`~repro.service.jobs.JobDeadlineError`.  ``None``
+        (default) disables deadlines.
     checkpoint_every:
         Snapshot cadence (iterations) for every job.
     driver_defaults:
@@ -115,6 +146,8 @@ class Scheduler:
         n_workers: int = 2,
         worker_model: str = "thread",
         max_restarts: int = 2,
+        heartbeat_timeout_s: float | None = None,
+        job_deadline_s: float | None = None,
         checkpoint_every: int = 1,
         driver_defaults: dict | None = None,
         metrics: MetricsRecorder | None = None,
@@ -129,12 +162,24 @@ class Scheduler:
             )
         if max_restarts < 0:
             raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be > 0 or None, got {heartbeat_timeout_s}"
+            )
+        if job_deadline_s is not None and job_deadline_s <= 0:
+            raise ValueError(
+                f"job_deadline_s must be > 0 or None, got {job_deadline_s}"
+            )
         self.queue = queue
         self.cache = cache
         self.checkpoint_root = Path(checkpoint_root)
         self.n_workers = int(n_workers)
         self.worker_model = worker_model
         self.max_restarts = int(max_restarts)
+        self.heartbeat_timeout_s = (
+            None if heartbeat_timeout_s is None else float(heartbeat_timeout_s)
+        )
+        self.job_deadline_s = None if job_deadline_s is None else float(job_deadline_s)
         self.checkpoint_every = int(checkpoint_every)
         self.driver_defaults = dict(driver_defaults) if driver_defaults else None
         self.rec = as_recorder(metrics)
@@ -142,10 +187,42 @@ class Scheduler:
         self._clock = clock
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._degraded_lock = threading.Lock()
+        #: job ids whose checkpoint write path is currently degraded
+        #: (CHECKPOINT_DEGRADED seen without a later CHECKPOINT_RECOVERED).
+        self._degraded_jobs: set[str] = set()
 
     # -- counters (shared recorder; its counters are internally locked) --
     def _count(self, name: str, n: float = 1) -> None:
         self.rec.count(name, n)
+
+    # -- fault bookkeeping ----------------------------------------------
+    def _note_job_fault(self, job: Job, kind: str, detail: dict) -> None:
+        """File a fault event on the job and keep the degraded-set current.
+
+        Reached from both worker models: the thread model's
+        ProgressRecorder calls it directly (``on_fault``), the process
+        model relays ``("fault", kind, detail)`` pipe messages here.
+        """
+        job.record_event(kind, **detail)
+        if kind == "CHECKPOINT_DEGRADED":
+            self._count("service.checkpoint_writes_failed")
+            with self._degraded_lock:
+                self._degraded_jobs.add(job.job_id)
+        elif kind == "CHECKPOINT_RECOVERED":
+            self._count("service.checkpoint_writes_recovered")
+            with self._degraded_lock:
+                self._degraded_jobs.discard(job.job_id)
+
+    @property
+    def degraded_job_ids(self) -> set[str]:
+        """Ids of running jobs whose checkpointing is currently degraded."""
+        with self._degraded_lock:
+            return set(self._degraded_jobs)
+
+    def _forget_degraded(self, job_id: str) -> None:
+        with self._degraded_lock:
+            self._degraded_jobs.discard(job_id)
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -271,7 +348,16 @@ class Scheduler:
             if self.worker_model == "process":
                 result = self._run_in_process(job, ckpt_dir)
             else:
-                recorder = ProgressRecorder(job, self.on_progress)
+                recorder = ProgressRecorder(
+                    job,
+                    self.on_progress,
+                    on_fault=self._note_job_fault,
+                    deadline=(
+                        None
+                        if self.job_deadline_s is None
+                        else time.monotonic() + self.job_deadline_s
+                    ),
+                )
                 job.metrics = recorder
                 result = run_job(
                     job.spec,
@@ -290,6 +376,8 @@ class Scheduler:
             return
         finally:
             self._count("service.run_s", self._clock() - started)
+            # Whatever happened, a finished job no longer degrades health.
+            self._forget_degraded(job.job_id)
 
         job.result = result
         if job.cache_key is not None:
@@ -319,6 +407,28 @@ class Scheduler:
             )
         )
 
+    def _consume_verdict(self, ckpt_dir: Path) -> tuple | None:
+        """Read and clear a child-persisted fallback verdict, if any.
+
+        A worker whose pipe tore at the end writes ``verdict.json`` next
+        to its result container; consuming it before (re)spawning keeps a
+        finished job from being re-run.  An unreadable file is dropped —
+        the crash path (resume from checkpoints) is always safe.
+        """
+        path = worker_verdict_path(ckpt_dir)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            return None
+        path.unlink(missing_ok=True)
+        if isinstance(doc, dict) and isinstance(doc.get("kind"), str):
+            self._count("service.worker_verdict_files")
+            return (doc["kind"], doc.get("payload"))
+        return None
+
     def _run_in_process(self, job: Job, ckpt_dir: Path):
         """Supervise ``job`` through worker subprocess lives.
 
@@ -330,6 +440,13 @@ class Scheduler:
         life that dies with no verdict — SIGKILL, segfault, OOM — is
         respawned up to ``max_restarts`` times; ``run_job`` in the fresh
         child resumes from the job's newest checkpoint bit-identically.
+
+        The same restart budget covers the liveness watchdog: a child
+        whose pipe stays silent past ``heartbeat_timeout_s`` while alive
+        (hung, SIGSTOPped, wedged in native code) or that outlives
+        ``job_deadline_s`` is SIGKILLed here — SIGKILL terminates even a
+        stopped process — and handled exactly like a crash, except the
+        event says ``WORKER_HUNG`` and the counter ``workers_hung``.
         """
         # Build the (process-wide, read-only) system matrix in the parent
         # first: forked children inherit it copy-on-write instead of each
@@ -337,48 +454,93 @@ class Scheduler:
         system_for(job.spec.scan.geometry)
         ctx = mp_context()
         restarts = 0
+        deadline = (
+            None
+            if self.job_deadline_s is None
+            else time.monotonic() + self.job_deadline_s
+        )
+        hb_timeout = self.heartbeat_timeout_s
+        # Children beat at a quarter of the timeout: several beats must be
+        # missed in a row before the watchdog fires, so one slow scheduler
+        # tick never kills a healthy worker.
+        hb_interval = None if hb_timeout is None else max(0.01, hb_timeout / 4.0)
         while True:
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            cancel_event = ctx.Event()
-            if job.cancel_requested:
-                cancel_event.set()
-            proc = ctx.Process(
-                target=process_worker_main,
-                args=(
-                    child_conn,
-                    cancel_event,
-                    job.spec,
-                    str(ckpt_dir),
-                    self.checkpoint_every,
-                    self.driver_defaults,
-                ),
-                name=f"recon-job-{job.job_id}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()  # parent keeps only the receiving end
-            verdict = None
-            try:
-                while True:
-                    if job.cancel_requested and not cancel_event.is_set():
-                        cancel_event.set()
-                    if parent_conn.poll(_RELAY_POLL_S):
-                        try:
-                            message = parent_conn.recv()
-                        except EOFError:  # child gone mid-message
+            # A previous life may have finished but lost its pipe: its
+            # persisted verdict stands in for the send.
+            verdict = self._consume_verdict(ckpt_dir)
+            hung_reason = None
+            exitcode = None
+            if verdict is None:
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                cancel_event = ctx.Event()
+                if job.cancel_requested:
+                    cancel_event.set()
+                proc = ctx.Process(
+                    target=process_worker_main,
+                    args=(
+                        child_conn,
+                        cancel_event,
+                        job.spec,
+                        str(ckpt_dir),
+                        self.checkpoint_every,
+                        self.driver_defaults,
+                        hb_interval,
+                    ),
+                    name=f"recon-job-{job.job_id}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()  # parent keeps only the receiving end
+                last_seen = time.monotonic()
+                try:
+                    while True:
+                        # Liveness checks come first so a chatty child (its
+                        # pipe never idle) still gets deadline-checked.
+                        now = time.monotonic()
+                        if deadline is not None and now >= deadline:
+                            hung_reason = "deadline"
+                        elif (
+                            hb_timeout is not None
+                            and now - last_seen >= hb_timeout
+                            and proc.is_alive()
+                        ):
+                            # Alive but silent past the timeout: hung.  (A
+                            # dead child goes the EOF/no-verdict crash path
+                            # below instead.)
+                            hung_reason = "heartbeat_timeout"
+                        if hung_reason is not None:
+                            proc.kill()
                             break
-                        if message[0] in ("iteration", "checkpoint"):
-                            self._relay(job, message)
-                        else:
-                            verdict = message
-                            break
-                    elif not proc.is_alive():
-                        # Dead and the pipe is drained: no verdict is coming.
-                        if not parent_conn.poll(0):
-                            break
-            finally:
-                parent_conn.close()
-            proc.join()
+                        if job.cancel_requested and not cancel_event.is_set():
+                            cancel_event.set()
+                        if parent_conn.poll(_RELAY_POLL_S):
+                            try:
+                                message = parent_conn.recv()
+                            except EOFError:  # child gone mid-message
+                                break
+                            last_seen = time.monotonic()
+                            kind = message[0]
+                            if kind in ("iteration", "checkpoint"):
+                                self._relay(job, message)
+                            elif kind == "heartbeat":
+                                pass  # liveness only; last_seen just updated
+                            elif kind == "fault":
+                                self._note_job_fault(job, message[1], dict(message[2]))
+                            else:
+                                verdict = message
+                                break
+                        elif not proc.is_alive():
+                            # Dead and the pipe is drained: no verdict is coming.
+                            if not parent_conn.poll(0):
+                                break
+                finally:
+                    parent_conn.close()
+                proc.join()
+                exitcode = proc.exitcode
+                if verdict is None and hung_reason is None:
+                    # The child may have finished but lost the pipe race:
+                    # check for a persisted verdict before calling it a crash.
+                    verdict = self._consume_verdict(ckpt_dir)
 
             if verdict is not None:
                 kind, payload = verdict
@@ -394,17 +556,41 @@ class Scheduler:
                     return load_worker_result(ckpt_dir)
                 if kind == "cancelled":
                     raise JobCancelledError(payload)
-                raise RuntimeError(payload)  # kind == "failed"
+                # kind == "failed"
+                if isinstance(payload, str) and payload.startswith(
+                    "ResultPersistError"
+                ):
+                    raise ResultPersistError(payload)
+                raise RuntimeError(payload)
 
-            # No verdict: the worker process died under the job.
+            # No verdict: the worker process died (or was killed) under the
+            # job.  Hangs and crashes share the restart budget but are
+            # tallied separately — a hang was *our* kill, and operators
+            # tune heartbeat_timeout_s by watching workers_hung.
             restarts += 1
-            self._count("service.worker_crashes")
-            job.record_event(
-                "WORKER_CRASHED", exitcode=proc.exitcode, restarts=restarts
-            )
+            if hung_reason is not None:
+                self._count("service.workers_hung")
+                job.record_event(
+                    "WORKER_HUNG",
+                    reason=hung_reason,
+                    exitcode=exitcode,
+                    restarts=restarts,
+                )
+            else:
+                self._count("service.worker_crashes")
+                job.record_event(
+                    "WORKER_CRASHED", exitcode=exitcode, restarts=restarts
+                )
             if restarts > self.max_restarts:
+                if hung_reason == "deadline":
+                    raise JobDeadlineError(
+                        f"job exceeded its {self.job_deadline_s:g}s deadline; "
+                        f"worker killed {restarts} times; giving up after "
+                        f"max_restarts={self.max_restarts}"
+                    )
                 raise RuntimeError(
                     f"worker process died {restarts} times without a verdict "
-                    f"(last exitcode {proc.exitcode}); giving up after "
-                    f"max_restarts={self.max_restarts}"
+                    f"(last exitcode {exitcode}"
+                    + (f", last kill: {hung_reason}" if hung_reason else "")
+                    + f"); giving up after max_restarts={self.max_restarts}"
                 )

@@ -68,6 +68,16 @@ class ReconstructionService:
         checkpoints without the service going down.
     max_restarts:
         Process model only: crashed-worker respawns per job before FAILED.
+    heartbeat_timeout_s:
+        Process model only: SIGKILL a worker subprocess whose pipe stays
+        silent this long while alive (hung, SIGSTOPped) and resume its
+        job from checkpoints — see
+        :class:`~repro.service.scheduler.Scheduler`.  ``None`` disables.
+    job_deadline_s:
+        Wall-clock budget per job across worker lives; over-deadline
+        process workers are killed, thread workers stop cooperatively
+        with :class:`~repro.service.jobs.JobDeadlineError`.  ``None``
+        disables.
     job_ttl_s:
         TTL for *terminal* jobs in the registry: once a job has been DONE
         / FAILED / CANCELLED for this long, the
@@ -103,6 +113,8 @@ class ReconstructionService:
         n_workers: int = 2,
         worker_model: str = "thread",
         max_restarts: int = 2,
+        heartbeat_timeout_s: float | None = None,
+        job_deadline_s: float | None = None,
         job_ttl_s: float | None = None,
         reap_interval_s: float | None = None,
         max_queue_depth: int | None = None,
@@ -140,6 +152,8 @@ class ReconstructionService:
             n_workers=n_workers,
             worker_model=worker_model,
             max_restarts=max_restarts,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            job_deadline_s=job_deadline_s,
             checkpoint_every=checkpoint_every,
             driver_defaults=driver_defaults,
             metrics=self.rec,
@@ -332,6 +346,33 @@ class ReconstructionService:
         """All jobs the service knows about, in submission order."""
         with self._jobs_lock:
             return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def health(self) -> dict[str, Any]:
+        """Liveness/degradation snapshot — the ``GET /healthz`` body.
+
+        ``status`` is ``"degraded"`` (with human-readable ``reasons``)
+        while any running job's checkpoint write path is degraded or any
+        worker has been killed for hanging; ``"ok"`` otherwise.  Degraded
+        is an *advisory* state: the service still accepts and completes
+        jobs, so load balancers should keep routing — the flag is for
+        operators and autoscalers watching disk pressure and hang rates.
+        """
+        degraded_jobs = sorted(self.scheduler.degraded_job_ids)
+        workers_hung = int(self.rec.counters.get("service.workers_hung", 0))
+        reasons: list[str] = []
+        if degraded_jobs:
+            reasons.append(
+                f"checkpoint writes degraded for {len(degraded_jobs)} running job(s)"
+            )
+        if workers_hung:
+            reasons.append(f"{workers_hung} hung worker(s) killed and resumed")
+        return {
+            "status": "degraded" if reasons else "ok",
+            "degraded": bool(reasons),
+            "reasons": reasons,
+            "checkpoint_degraded_jobs": degraded_jobs,
+            "workers_hung": workers_hung,
+        }
 
     def report(self) -> dict[str, Any]:
         """The service-level metrics report (``service.*`` counters).

@@ -12,6 +12,15 @@ is deliberately tiny:
   (``("iteration", i, dur)`` / ``("checkpoint", i, dur)``), re-emitted by
   the parent as the same :class:`~repro.service.progress.ProgressEvent`
   stream thread workers produce;
+* **liveness** is a periodic ``("heartbeat", ts)`` tuple from a daemon
+  thread, sent even while an iteration grinds — the parent's supervisor
+  treats a quiet pipe (no message of *any* kind within
+  ``heartbeat_timeout_s``) as a hung worker and SIGKILLs it, making an
+  alive-but-stuck child indistinguishable from a crashed one within one
+  timeout;
+* **faults** flow as ``("fault", kind, detail)`` tuples — the disk-fault
+  degradation transitions (``CHECKPOINT_DEGRADED`` / ``_RECOVERED``) the
+  parent mirrors onto the job's event log;
 * **cancel** flows parent → child through a shared
   ``multiprocessing.Event`` checked at every iteration boundary (the same
   cooperative point the thread model uses), raising
@@ -20,12 +29,21 @@ is deliberately tiny:
   repo's npz reconstruction container (``result-worker.npz`` next to the
   job's ``checkpoints/`` dir, atomic write) and sends a one-line verdict;
   the parent loads the container back.  Volumes can be large; verdicts
-  are not;
+  are not.  A result write that keeps failing after retries is the one
+  disk fault that is terminal: the verdict is a ``ResultPersistError``
+  failure with the errno;
 * **crashes need no protocol at all**: a SIGKILL'd child simply never
   sends a verdict.  The parent notices the dead process and respawns it —
   ``run_job`` resumes from the job's newest checkpoint bit-identically,
   exactly like the service-restart kill drill, except the service never
-  went down.
+  went down;
+* **a lost pipe is not a lost verdict**: if the verdict send fails after
+  one retry, the child persists it as ``verdict.json`` next to the result
+  container.  The parent consumes the file before (re)spawning, so a
+  finished job is never re-run just because its pipe tore at the end.
+  Only when the parent is *gone* (no file reader will ever come) does the
+  orphaned child exit quietly — its checkpoints make the work durable for
+  the next service life either way.
 
 Children are forked where the platform allows it, so the parent's
 process-wide system-matrix cache (and any warmed-up JIT state) is
@@ -34,24 +52,37 @@ inherited copy-on-write instead of being rebuilt per job.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import os
+import threading
+import time
 from pathlib import Path
 
 from repro.io import load_reconstruction, save_reconstruction
 from repro.observability import MetricsRecorder, Span
 from repro.service.cache import CachedResult
+from repro.service.faults import check_disk_fault, next_backoff
 from repro.service.jobs import JobCancelledError, JobSpec
-from repro.service.runner import run_job
 
 __all__ = [
     "mp_context",
     "worker_result_path",
+    "worker_verdict_path",
     "load_worker_result",
     "process_worker_main",
 ]
 
 #: Basename of the child-written result container (sibling of checkpoints/).
 _RESULT_BASENAME = "result-worker.npz"
+#: Basename of the fallback verdict file (written only when the pipe died).
+_VERDICT_BASENAME = "verdict.json"
+#: Pipe-send retry pause — long enough to ride out a transient EAGAIN-ish
+#: hiccup, short enough not to stall the iteration cadence.
+_SEND_RETRY_S = 0.05
+#: Result-write retry budget (attempts / backoff seed / cap, seconds).
+_RESULT_RETRIES = 3
+_RESULT_BACKOFF_S = (0.05, 0.5)
 
 
 def mp_context() -> multiprocessing.context.BaseContext:
@@ -72,6 +103,11 @@ def mp_context() -> multiprocessing.context.BaseContext:
 def worker_result_path(checkpoint_dir: str | Path) -> Path:
     """Where a worker process deposits its finished reconstruction."""
     return Path(checkpoint_dir).parent / _RESULT_BASENAME
+
+
+def worker_verdict_path(checkpoint_dir: str | Path) -> Path:
+    """Where a worker persists its verdict when the pipe is gone."""
+    return Path(checkpoint_dir).parent / _VERDICT_BASENAME
 
 
 def load_worker_result(checkpoint_dir: str | Path) -> CachedResult:
@@ -95,31 +131,125 @@ class _RelayRecorder(MetricsRecorder):
     messages instead of direct ``Job`` mutations (the ``Job`` object lives in
     the parent), and the cancel check reads the shared event the parent sets
     when ``request_cancel`` arrives.
+
+    Sends are serialised through a lock — the heartbeat thread and the
+    driver loop share the pipe, and ``Connection.send`` is not thread-safe.
+    A send that fails is retried once after a short pause; a second failure
+    marks the pipe dead so every later send is a cheap no-op (an orphaned
+    child keeps computing: checkpoints make the work durable, and the next
+    service life resumes from them).
     """
 
     def __init__(self, conn, cancel_event) -> None:
         super().__init__()
         self._conn = conn
         self._cancel = cancel_event
+        self._send_lock = threading.Lock()
+        self._pipe_dead = False
 
-    def _send(self, message: tuple) -> None:
-        try:
-            self._conn.send(message)
-        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
-            # An orphaned child keeps computing: checkpoints make the work
-            # durable, and the next service life resumes from them.
-            pass
+    @property
+    def pipe_dead(self) -> bool:
+        """Whether the relay gave up on the pipe (parent gone or torn)."""
+        return self._pipe_dead
+
+    def send(self, message: tuple, *, retries: int = 1) -> bool:
+        """Send ``message``; False if the pipe is (now) dead."""
+        if self._pipe_dead:
+            return False
+        with self._send_lock:
+            if self._pipe_dead:
+                return False
+            for attempt in range(retries + 1):
+                try:
+                    self._conn.send(message)
+                    return True
+                except (BrokenPipeError, OSError):
+                    if attempt < retries:
+                        time.sleep(_SEND_RETRY_S)
+            self._pipe_dead = True
+            return False
+
+    def note_fault(self, kind: str, **detail) -> None:
+        """Relay a fault transition (CHECKPOINT_DEGRADED/...) to the parent."""
+        self.send(("fault", kind, detail))
 
     def _pop(self, span: Span) -> None:
         super()._pop(span)
         meta = span.meta or {}
         if span.name == "iteration":
             iteration = int(meta.get("index", 0))
-            self._send(("iteration", iteration, span.duration))
+            self.send(("iteration", iteration, span.duration))
             if self._cancel.is_set():
                 raise JobCancelledError(f"cancelled at iteration {iteration}")
-        elif span.name == "checkpoint_save":
-            self._send(("checkpoint", int(meta.get("iteration", 0)), span.duration))
+        elif span.name == "checkpoint_save" and not meta.get("suppressed"):
+            self.send(("checkpoint", int(meta.get("iteration", 0)), span.duration))
+
+
+def _heartbeat_loop(recorder: _RelayRecorder, stop: threading.Event, interval_s: float) -> None:
+    """Send liveness beats until told to stop or the pipe dies.
+
+    No retry on a beat: the next one is due in ``interval_s`` anyway, and
+    retrying here would serialise behind a driver-loop send holding the
+    lock.
+    """
+    while not stop.wait(interval_s):
+        if not recorder.send(("heartbeat", time.time()), retries=0):
+            return
+
+
+def _persist_verdict(checkpoint_dir: str, kind: str, payload) -> None:
+    """Write the fallback verdict file atomically; best-effort.
+
+    Called only after the pipe is torn, so there is nobody to tell about a
+    failure here — the parent will classify a missing file as a crash and
+    resume from checkpoints, which is safe (just slower) even for a
+    finished job.
+    """
+    path = worker_verdict_path(checkpoint_dir)
+    tmp = path.with_suffix(".json.tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps({"kind": kind, "payload": payload}))
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def _deliver_verdict(
+    recorder: _RelayRecorder, checkpoint_dir: str, kind: str, payload
+) -> None:
+    """Send the verdict over the pipe, falling back to the verdict file."""
+    if not recorder.send((kind, payload), retries=1):
+        _persist_verdict(checkpoint_dir, kind, payload)
+
+
+def _save_result_with_retry(result_path: Path, result, spec: JobSpec) -> None:
+    """Persist the result container, retrying transient OSErrors.
+
+    The one write that must not degrade: after the retry budget the final
+    ``OSError`` propagates and becomes a ``ResultPersistError`` verdict.
+    """
+    delay = _RESULT_BACKOFF_S[0]
+    for attempt in range(_RESULT_RETRIES):
+        try:
+            # The job dir may not exist yet: a short job can finish before
+            # its first checkpoint ever created it.
+            result_path.parent.mkdir(parents=True, exist_ok=True)
+            check_disk_fault(result_path.parent)
+            save_reconstruction(
+                result_path,
+                result.image,
+                getattr(result, "history", None),
+                metadata={"job_id": spec.job_id or "", "driver": spec.driver},
+            )
+            return
+        except OSError:
+            if attempt + 1 >= _RESULT_RETRIES:
+                raise
+            delay = next_backoff(
+                delay, base_s=_RESULT_BACKOFF_S[0], cap_s=_RESULT_BACKOFF_S[1]
+            )
+            time.sleep(delay)
 
 
 def process_worker_main(
@@ -129,17 +259,31 @@ def process_worker_main(
     checkpoint_dir: str,
     checkpoint_every: int,
     driver_defaults: dict | None,
+    heartbeat_interval_s: float | None = None,
 ) -> None:
     """Run one job in this worker process and report a verdict.
 
     The last message on ``conn`` is the verdict tuple —
     ``("done", counters)``, ``("cancelled", detail)``, or
-    ``("failed", error)`` — after any number of progress tuples.  A crash
-    (SIGKILL, segfault, OOM kill) sends nothing; the parent treats pipe
-    EOF without a verdict as "respawn and resume from checkpoints".
+    ``("failed", error)`` — after any number of progress/heartbeat/fault
+    tuples.  A crash (SIGKILL, segfault, OOM kill) sends nothing; the
+    parent treats pipe EOF without a verdict (and without a persisted
+    ``verdict.json``) as "respawn and resume from checkpoints".
     """
+    from repro.service.runner import run_job  # deferred: keep fork startup lean
+
+    recorder = _RelayRecorder(conn, cancel_event)
+    hb_stop = threading.Event()
+    hb_thread = None
+    if heartbeat_interval_s is not None and heartbeat_interval_s > 0:
+        hb_thread = threading.Thread(
+            target=_heartbeat_loop,
+            args=(recorder, hb_stop, float(heartbeat_interval_s)),
+            name="worker-heartbeat",
+            daemon=True,
+        )
+        hb_thread.start()
     try:
-        recorder = _RelayRecorder(conn, cancel_event)
         try:
             result = run_job(
                 spec,
@@ -149,31 +293,41 @@ def process_worker_main(
                 driver_defaults=driver_defaults,
             )
         except JobCancelledError as exc:
-            conn.send(("cancelled", str(exc)))
+            _deliver_verdict(recorder, checkpoint_dir, "cancelled", str(exc))
             return
         except BaseException as exc:  # the verdict IS the error channel
-            conn.send(("failed", f"{type(exc).__name__}: {exc}"))
+            _deliver_verdict(
+                recorder, checkpoint_dir, "failed", f"{type(exc).__name__}: {exc}"
+            )
             return
         try:
-            # The job dir may not exist yet: a short job can finish before
-            # its first checkpoint ever created it.
-            result_path = worker_result_path(checkpoint_dir)
-            result_path.parent.mkdir(parents=True, exist_ok=True)
-            save_reconstruction(
-                result_path,
-                result.image,
-                getattr(result, "history", None),
-                metadata={"job_id": spec.job_id or "", "driver": spec.driver},
+            _save_result_with_retry(worker_result_path(checkpoint_dir), result, spec)
+        except OSError as exc:
+            # The terminal disk fault: the result is irreplaceable, so a
+            # persistently unwritable container fails the job with the
+            # errno in the detail (the parent raises the typed error).
+            _deliver_verdict(
+                recorder,
+                checkpoint_dir,
+                "failed",
+                f"ResultPersistError[errno={exc.errno}]: {exc}",
             )
-        except BaseException as exc:
-            # A save failure must be a FAILED verdict, not a silent clean
-            # exit — the outer OSError guard below is only for a dead pipe.
-            conn.send(("failed", f"result save failed: {type(exc).__name__}: {exc}"))
             return
-        conn.send(("done", dict(recorder.counters)))
-    except (BrokenPipeError, OSError):  # pragma: no cover - parent died
-        pass
+        except BaseException as exc:
+            # A non-disk save failure must still be a FAILED verdict, not a
+            # silent clean exit.
+            _deliver_verdict(
+                recorder,
+                checkpoint_dir,
+                "failed",
+                f"result save failed: {type(exc).__name__}: {exc}",
+            )
+            return
+        _deliver_verdict(recorder, checkpoint_dir, "done", dict(recorder.counters))
     finally:
+        hb_stop.set()
+        if hb_thread is not None:
+            hb_thread.join(timeout=1.0)
         try:
             conn.close()
         except OSError:  # pragma: no cover

@@ -235,7 +235,39 @@ class TestMetrics:
 
     def test_healthz(self, gateway):
         code, _, doc = http_json(gateway, "GET", "/healthz")
-        assert code == 200 and doc == {"status": "ok"}
+        assert code == 200
+        assert doc["status"] == "ok"
+        assert doc["degraded"] is False
+        assert doc["reasons"] == []
+        assert doc["checkpoint_degraded_jobs"] == []
+        assert doc["workers_hung"] == 0
+
+    def test_healthz_reports_degraded_checkpoint_writes(self, gateway):
+        """PR-9: a degraded checkpoint path flips healthz while it lasts.
+
+        Driven through the scheduler's fault hook directly — the HTTP
+        layer is under test here; the end-to-end disk-fault path is
+        covered in test_fault_hardening.
+        """
+        service = gateway.service
+        # Park the workers so the job can't finish (a finished job clears
+        # its degraded flag) and the flip/flop below is deterministic.
+        service.scheduler.stop(wait=True)
+        code, _, doc = submit(gateway)
+        job = service.job(doc["job_id"])
+        service.scheduler._note_job_fault(
+            job, "CHECKPOINT_DEGRADED", {"errno": 28, "error": "boom"}
+        )
+        code, _, health = http_json(gateway, "GET", "/healthz")
+        assert code == 200
+        assert health["status"] == "degraded" and health["degraded"] is True
+        assert health["checkpoint_degraded_jobs"] == [job.job_id]
+        assert any("checkpoint" in r for r in health["reasons"])
+        service.scheduler._note_job_fault(
+            job, "CHECKPOINT_RECOVERED", {"iteration": 2}
+        )
+        code, _, health = http_json(gateway, "GET", "/healthz")
+        assert health["status"] == "ok" and health["degraded"] is False
 
 
 class TestConcurrentClients:
@@ -329,9 +361,12 @@ class TestEvictionAndShutdown:
 
     def test_submit_against_closed_queue_is_503(self, gateway):
         gateway.service.scheduler.stop(wait=True, close=True)
-        code, _, body = submit(gateway)
+        code, headers, body = submit(gateway)
         assert code == 503
         assert "closed" in body["error"]
+        # PR-9: 503s carry the same Retry-After hint as 429s, so clients
+        # back off through drain windows instead of hammering.
+        assert float(headers["Retry-After"]) > 0
         counters = gateway.service.report()["counters"]
         assert counters["http.jobs_rejected_503"] == 1
 
