@@ -37,7 +37,7 @@ import numpy as np
 from repro.core.backends import BACKENDS, make_backend, make_wave_tasks
 from repro.core.convergence import RMSE_CONVERGED_HU, IterationRecord, RunHistory, rmse_hu
 from repro.core.cost import map_cost
-from repro.core.icd import ICDResult, default_prior, initial_image, resilience_hooks
+from repro.core.icd import ICDResult, default_prior, init_label, initial_image, resilience_hooks
 from repro.core.kernels import resolve_kernel
 from repro.core.prior import Neighborhood, Prior, shared_neighborhood
 from repro.core.selection import SVSelector
@@ -144,7 +144,7 @@ def gpu_icd_reconstruct(
     max_equits: float = 20.0,
     golden: np.ndarray | None = None,
     stop_rmse: float | None = None,
-    init: str = "fbp",
+    init: "str | np.ndarray" = "fbp",
     zero_skip: bool = True,
     positivity: bool = True,
     seed: int | np.random.Generator | None = 0,
@@ -259,7 +259,7 @@ def gpu_icd_reconstruct(
         )
     else:
         x = initial_image(scan, init=init).ravel().copy()
-        check_finite(f"initial image (init={init!r})", x)
+        check_finite(f"initial image (init={init_label(init)})", x)
         e = updater.initial_error(x)
         history = RunHistory()
         total_updates = 0

@@ -36,6 +36,7 @@ __all__ = [
     "golden_reconstruction",
     "default_prior",
     "initial_image",
+    "init_label",
 ]
 
 
@@ -76,19 +77,36 @@ def default_prior(scale: float = MU_WATER) -> QGGMRFPrior:
     return QGGMRFPrior(sigma=2.0 * scale, q=1.2, T=1.0)
 
 
-def initial_image(scan: ScanData, *, init: str = "fbp") -> np.ndarray:
+def initial_image(scan: ScanData, *, init: "str | np.ndarray" = "fbp") -> np.ndarray:
     """Starting image for iterative reconstruction.
 
     ``"fbp"`` (default) follows standard MBIR practice — a filtered
     backprojection warm start converges in far fewer equits; ``"zero"``
     starts from an empty image (useful for zero-skipping stress tests).
+    An ndarray (``(n, n)`` or flat ``n*n``, mu units) is used directly —
+    this is how the multires pyramid seeds a level with the upsampled
+    coarse iterate and the shard coordinator re-seeds stripe rounds.
     """
-    if init == "fbp":
-        return fbp_reconstruct(scan.sinogram, scan.geometry)
-    if init == "zero":
-        n = scan.geometry.n_pixels
-        return np.zeros((n, n), dtype=np.float64)
-    raise ValueError(f"unknown init {init!r}; use 'fbp' or 'zero'")
+    if isinstance(init, str):
+        if init == "fbp":
+            return fbp_reconstruct(scan.sinogram, scan.geometry)
+        if init == "zero":
+            n = scan.geometry.n_pixels
+            return np.zeros((n, n), dtype=np.float64)
+        raise ValueError(f"unknown init {init!r}; use 'fbp', 'zero', or an image array")
+    n = scan.geometry.n_pixels
+    arr = np.asarray(init, dtype=np.float64)
+    if arr.shape not in ((n, n), (n * n,)):
+        raise ValueError(
+            f"init image shape {arr.shape} does not match geometry "
+            f"({n}, {n}) or flat ({n * n},)"
+        )
+    return arr.reshape(n, n).copy()
+
+
+def init_label(init) -> str:
+    """A short description of an ``init`` argument for error messages."""
+    return repr(init) if isinstance(init, str) else f"<array {getattr(init, 'shape', '?')}>"
 
 
 @dataclass
@@ -108,10 +126,12 @@ def icd_reconstruct(
     *,
     prior: Prior | None = None,
     max_equits: float = 20.0,
+    max_iterations: int | None = None,
     golden: np.ndarray | None = None,
     stop_rmse: float | None = None,
-    init: str = "fbp",
+    init: "str | np.ndarray" = "fbp",
     zero_skip: bool = True,
+    voxel_subset: np.ndarray | None = None,
     positivity: bool = True,
     seed: int | np.random.Generator | None = 0,
     track_cost: bool = True,
@@ -133,14 +153,26 @@ def icd_reconstruct(
         MRF prior; defaults to :func:`default_prior`.
     max_equits:
         Stop after this many equivalent iterations.
+    max_iterations:
+        If set, also stop after this many outer sweeps — the exact-count
+        stop the shard coordinator needs (``max_equits`` counts *actual*
+        updates, which zero-skipping makes data-dependent).
     golden:
         Converged reference image; enables RMSE tracking.
     stop_rmse:
         If set (HU), stop as soon as RMSE vs ``golden`` drops below it.
     init:
-        Starting image ("fbp" or "zero").
+        Starting image ("fbp", "zero", or an ``(n, n)`` mu-units array —
+        see :func:`initial_image`).
     zero_skip:
         Skip voxels whose value and neighborhood are all zero.
+    voxel_subset:
+        If set, only these flat voxel indices are visited (in randomized
+        order) each sweep; all other voxels stay frozen.  The error
+        sinogram still tracks the full image, so the data term is exact —
+        this is the building block for halo-exchanged row-stripe shards.
+        Equits still count updates against the full raster, so one subset
+        sweep advances ``equits`` by roughly ``subset.size / n_voxels``.
     positivity:
         Clip voxel values at zero.
     seed:
@@ -187,6 +219,18 @@ def icd_reconstruct(
     ctx = updater.context()  # hoisted per-voxel footprint views + kernel state
     rng = resolve_rng(seed)
     n_voxels = geometry.n_voxels
+    if max_iterations is not None and max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    subset = None
+    if voxel_subset is not None:
+        subset = np.asarray(voxel_subset, dtype=np.int64).ravel()
+        if subset.size == 0:
+            raise ValueError("voxel_subset must not be empty")
+        if subset.min() < 0 or subset.max() >= n_voxels:
+            raise ValueError(
+                f"voxel_subset indices must be in [0, {n_voxels}), got range "
+                f"[{subset.min()}, {subset.max()}]"
+            )
 
     hooks = resilience_hooks("icd", checkpoint, checkpoint_every, resume_from, sentinel, metrics)
     ckpt = hooks.resume_state() if hooks is not None else None
@@ -195,14 +239,20 @@ def icd_reconstruct(
         x, e, rng, history, iteration, total_updates = hooks.apply_resume(ckpt, rng=rng)
     else:
         x = initial_image(scan, init=init).ravel().copy()
-        check_finite(f"initial image (init={init!r})", x)
+        check_finite(f"initial image (init={init_label(init)})", x)
         e = updater.initial_error(x)
         history = RunHistory()
         total_updates = 0
         iteration = 0
-    while total_updates < max_equits * n_voxels:
+    while total_updates < max_equits * n_voxels and (
+        max_iterations is None or iteration < max_iterations
+    ):
         iteration += 1
-        order = rng.permutation(n_voxels)
+        order = (
+            rng.permutation(n_voxels)
+            if subset is None
+            else subset[rng.permutation(subset.size)]
+        )
         # Zero-skipping is suspended on the first iteration so a zero
         # (air) initialisation can bootstrap; afterwards a voxel whose
         # whole neighborhood is zero can never change and is skipped.

@@ -153,6 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resume each driver from its latest checkpoint "
                          "under --checkpoint-dir (bit-identical to an "
                          "uninterrupted run)")
+    profile.add_argument("--multires", action="store_true",
+                         help="also profile the hierarchical coarse-to-fine "
+                         "driver (repro.multires); configure the pyramid "
+                         "with --levels")
+    profile.add_argument("--levels", metavar="SPEC", default=None,
+                         help="pyramid for --multires: a comma list of "
+                         "ascending sizes ending at --pixels (e.g. "
+                         "'16,32,64') or a level count (e.g. '3'); "
+                         "default: auto factors of 4 and 2 where the "
+                         "geometry divides evenly")
+    profile.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="also run one slice as N halo-exchanged row "
+                         "stripes through an in-process reconstruction "
+                         "service and report makespan + RMSE vs the "
+                         "unsharded reference")
+    profile.add_argument("--halo", type=int, default=1, metavar="K",
+                         help="halo rows per stripe boundary for --shards "
+                         "(default 1)")
+    profile.add_argument("--rounds", type=int, default=2, metavar="R",
+                         help="block-Jacobi rounds for --shards (default 2)")
 
     serve = sub.add_parser(
         "serve", help="serve reconstruction jobs out of a queue directory"
@@ -359,6 +379,35 @@ def _run_profile(args) -> None:
 
     n = args.pixels
     geom = scaled_geometry(n)
+
+    # Validate pyramid / shard specs before any heavy setup: a bad spec is
+    # a usage error (exit 2), not a runtime failure mid-profile.
+    if args.levels is not None and not args.multires:
+        raise UsageError("--levels requires --multires")
+    levels = None
+    if args.multires:
+        from repro.multires import parse_levels
+
+        spec = args.levels
+        if spec is not None and "," not in spec:
+            try:
+                spec = int(spec)  # a bare count, e.g. --levels 3
+            except ValueError:
+                pass  # a single size like "64" parses as a str spec below
+        try:
+            levels = parse_levels(spec, geom)
+        except (TypeError, ValueError) as exc:
+            raise UsageError(f"invalid --levels spec {args.levels!r}: {exc}")
+    if args.shards is not None:
+        from repro.multires import plan_stripes
+
+        try:
+            plan_stripes(n, args.shards, args.halo)
+        except (TypeError, ValueError) as exc:
+            raise UsageError(f"invalid shard plan: {exc}")
+        if args.rounds < 1:
+            raise UsageError(f"--rounds must be >= 1, got {args.rounds}")
+
     system = build_system_matrix(geom)
     scan = simulate_scan(shepp_logan(n), system, seed=args.seed)
     common = dict(max_equits=args.equits, seed=args.seed, track_cost=False)
@@ -401,6 +450,13 @@ def _run_profile(args) -> None:
             scan, system, params=gpu_params, metrics=rec, **common, **wave,
             **resilience("gpu_icd")
         )
+    if args.multires:
+        from repro.multires import multires_reconstruct
+
+        drivers["multires"] = lambda rec: multires_reconstruct(
+            scan, system, levels=list(levels), metrics=rec,
+            **common, **resilience("multires")
+        )
 
     report = {
         "pixels": n,
@@ -420,6 +476,13 @@ def _run_profile(args) -> None:
         entry["equits"] = result.history.equits
         entry["converged_equits"] = result.history.converged_equits
         entry["converged_threshold_hu"] = result.history.converged_threshold_hu
+        if name == "multires":
+            entry["levels"] = [
+                {"size": lr.size, "factor": lr.factor, "equits": lr.equits,
+                 "effective_equits": lr.effective_equits}
+                for lr in result.levels
+            ]
+            entry["total_effective_equits"] = result.total_effective_equits
         if name == "gpu_icd":
             model = GPUTimingModel(geom)
             entry["measured_vs_modeled"] = model.measured_vs_modeled(result.trace, rec)
@@ -435,6 +498,49 @@ def _run_profile(args) -> None:
                 print(f"  {phase:12s} {agg['total_s']:8.3f} s  (x{agg['count']})")
         for key, val in sorted(rec.counters.items()):
             print(f"  {key:28s} {val:12.0f}")
+
+    if args.multires:
+        report["levels"] = list(levels)
+
+    if args.shards is not None:
+        from repro.core.convergence import rmse_hu
+        from repro.multires.shards import ShardCoordinator
+        from repro.service.service import ReconstructionService
+
+        service = ReconstructionService(n_workers=args.workers or 2)
+        try:
+            coord = ShardCoordinator(service)
+            t0 = time.perf_counter()
+            gid = coord.submit_sharded(
+                scan,
+                n_shards=args.shards,
+                halo=args.halo,
+                rounds=args.rounds,
+                seed=args.seed,
+                params={"track_cost": False},
+            )
+            stitched = coord.result(gid, timeout=3600).image
+            sharded_s = time.perf_counter() - t0
+        finally:
+            service.close()
+        t0 = time.perf_counter()
+        ref = icd_reconstruct(
+            scan, system, max_iterations=args.rounds, seed=args.seed,
+            track_cost=False,
+        )
+        mono_s = time.perf_counter() - t0
+        err_hu = rmse_hu(stitched, ref.image)
+        print(f"sharded: {args.shards} stripes x {args.rounds} rounds "
+              f"(halo {args.halo}): {sharded_s:.3f} s makespan vs "
+              f"{mono_s:.3f} s monolithic, {err_hu:.2f} HU RMSE vs unsharded")
+        report["sharded"] = {
+            "n_shards": args.shards,
+            "halo": args.halo,
+            "rounds": args.rounds,
+            "makespan_s": sharded_s,
+            "monolithic_s": mono_s,
+            "rmse_hu_vs_unsharded": err_hu,
+        }
 
     if args.metrics_json:
         with open(args.metrics_json, "w") as f:

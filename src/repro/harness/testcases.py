@@ -22,7 +22,20 @@ from repro.ct.sinogram import ScanData, simulate_scan
 from repro.ct.system_matrix import SystemMatrix
 from repro.utils import check_positive, resolve_rng
 
-__all__ = ["TestCase", "generate_suite", "scan_for_case"]
+__all__ = [
+    "TestCase",
+    "VolumeTestCase",
+    "LARGE_MIN_PIXELS",
+    "generate_suite",
+    "generate_large_suite",
+    "generate_volume_suite",
+    "scan_for_case",
+    "scans_for_volume_case",
+]
+
+#: Floor of the "large" family — the multi-resolution pyramid and row
+#: sharding exist for slices at or beyond this size.
+LARGE_MIN_PIXELS = 256
 
 
 @dataclass(frozen=True)
@@ -74,3 +87,94 @@ def generate_suite(
 def scan_for_case(case: TestCase, system: SystemMatrix) -> ScanData:
     """Simulate the acquisition of one test case."""
     return simulate_scan(case.image, system, dose=case.dose, seed=case.seed)
+
+
+def generate_large_suite(
+    n_cases: int,
+    n_pixels: int = LARGE_MIN_PIXELS,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> list[TestCase]:
+    """The ≥256² family: cases sized for hierarchical/sharded reconstruction.
+
+    Same structural mix as :func:`generate_suite`, but the resolution floor
+    (:data:`LARGE_MIN_PIXELS`) is enforced — at these sizes a cold
+    full-resolution ICD run is the expensive path the multires pyramid and
+    row sharding exist to beat, so benchmarks drawing from this family are
+    comparing on the regime that matters.
+    """
+    if n_pixels < LARGE_MIN_PIXELS:
+        raise ValueError(
+            f"the large family starts at {LARGE_MIN_PIXELS}² "
+            f"(got n_pixels={n_pixels}); use generate_suite for smaller cases"
+        )
+    return generate_suite(n_cases, n_pixels, seed=seed)
+
+
+@dataclass(frozen=True)
+class VolumeTestCase:
+    """One synthetic multi-slice volume plus its acquisition dose."""
+
+    name: str
+    volume: np.ndarray  # (n_slices, n_pixels, n_pixels)
+    dose: float
+    seed: int
+
+    @property
+    def n_slices(self) -> int:
+        return self.volume.shape[0]
+
+
+def generate_volume_suite(
+    n_cases: int,
+    n_slices: int,
+    n_pixels: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> list[VolumeTestCase]:
+    """Generate multi-slice volumes for the shard-scheduler workload.
+
+    Mix: ~50 % smooth ellipsoid volumes with slice-varying inserts
+    (:func:`repro.core.volume.ellipsoid_volume`) and ~50 % "conveyor"
+    stacks whose slices are independent baggage scenes — the latter has no
+    inter-slice coherence at all, which is exactly the per-slice
+    independence the slices sharding mode relies on.
+    """
+    check_positive("n_cases", n_cases)
+    check_positive("n_slices", n_slices)
+    check_positive("n_pixels", n_pixels)
+    # Imported here: repro.core.volume pulls in every driver, which the
+    # suite generator itself does not need unless volumes are requested.
+    from repro.core.volume import ellipsoid_volume
+
+    rng = resolve_rng(seed)
+    cases = []
+    for i in range(n_cases):
+        case_seed = int(rng.integers(0, 2**31 - 1))
+        dose = float(rng.uniform(3e4, 3e5))
+        if rng.random() < 0.5:
+            vol = ellipsoid_volume(n_slices, n_pixels, seed=case_seed)
+            name = f"ellipsoid-vol-{i:04d}"
+        else:
+            vol = np.stack(
+                [
+                    baggage_phantom(
+                        n_pixels,
+                        n_objects=int(rng.integers(4, 12)),
+                        seed=case_seed + k,
+                    )
+                    for k in range(n_slices)
+                ]
+            )
+            name = f"conveyor-vol-{i:04d}"
+        cases.append(VolumeTestCase(name=name, volume=vol, dose=dose, seed=case_seed))
+    return cases
+
+
+def scans_for_volume_case(
+    case: VolumeTestCase, system: SystemMatrix
+) -> list[ScanData]:
+    """Simulate the per-slice acquisitions of one volume case."""
+    from repro.core.volume import simulate_volume_scan
+
+    return simulate_volume_scan(case.volume, system, dose=case.dose, seed=case.seed)

@@ -34,11 +34,14 @@ __all__ = [
     "CorruptFileError",
     "save_scan",
     "load_scan",
+    "save_volume_scan",
+    "load_volume_scan",
     "save_reconstruction",
     "load_reconstruction",
 ]
 
 _SCAN_FORMAT = "repro-scan-v1"
+_VOLSCAN_FORMAT = "repro-volscan-v1"
 _RECON_FORMAT = "repro-recon-v1"
 
 
@@ -181,6 +184,73 @@ def load_scan(path: str | Path) -> ScanData:
             weights=weights,
             ground_truth=ground_truth,
         )
+
+
+def save_volume_scan(path: str | Path, scans: "list[ScanData]") -> None:
+    """Write a multi-slice scan stack (one shared geometry) to ``path``.
+
+    ``scans`` is one :class:`ScanData` per axial slice, all on the same
+    acquisition geometry (as produced by
+    :func:`repro.core.volume.simulate_volume_scan`).  Sinograms and weights
+    are stacked into ``(n_slices, n_views, n_channels)`` arrays; per-slice
+    ground truths are stacked too when *every* slice carries one, and
+    dropped otherwise.  The write is atomic.
+    """
+    if not scans:
+        raise ValueError("scans must be a non-empty list of ScanData")
+    geometry = scans[0].geometry
+    for k, scan in enumerate(scans):
+        if scan.geometry != geometry:
+            raise ValueError(
+                f"slice {k} geometry differs from slice 0; a volume scan "
+                "shares one acquisition geometry across slices"
+            )
+    payload = {
+        "format": np.array(_VOLSCAN_FORMAT),
+        "geometry": np.array(json.dumps(_geometry_meta(geometry))),
+        "sinograms": np.stack([s.sinogram for s in scans]),
+        "weights": np.stack([s.weights for s in scans]),
+    }
+    if all(s.ground_truth is not None for s in scans):
+        payload["ground_truth"] = np.stack([s.ground_truth for s in scans])
+    _atomic_savez(path, payload)
+
+
+def load_volume_scan(path: str | Path) -> "list[ScanData]":
+    """Read the per-slice scans written by :func:`save_volume_scan`.
+
+    Raises :class:`CorruptFileError` (naming the offending key) for
+    truncated, unreadable, or schema-incomplete files.
+    """
+    path = Path(path)
+    with _open_npz(path, "volume scan") as data:
+        fmt = str(_read_key(data, "format", path))
+        if fmt != _VOLSCAN_FORMAT:
+            raise CorruptFileError(
+                f"{path}: not a repro volume-scan file (format={fmt!r})"
+            )
+        geometry = _geometry_from_meta(_read_json_key(data, "geometry", path), path)
+        sinograms = np.asarray(_read_key(data, "sinograms", path), dtype=np.float64)
+        weights = np.asarray(_read_key(data, "weights", path), dtype=np.float64)
+        if sinograms.ndim != 3 or weights.shape != sinograms.shape:
+            raise CorruptFileError(
+                f"{path}: sinograms/weights must be matching 3-D stacks, got "
+                f"{sinograms.shape} / {weights.shape}"
+            )
+        truth = (
+            np.asarray(_read_key(data, "ground_truth", path))
+            if "ground_truth" in data
+            else None
+        )
+        return [
+            ScanData(
+                geometry=geometry,
+                sinogram=sinograms[k],
+                weights=weights[k],
+                ground_truth=None if truth is None else truth[k],
+            )
+            for k in range(sinograms.shape[0])
+        ]
 
 
 def save_reconstruction(

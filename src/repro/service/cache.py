@@ -56,6 +56,18 @@ def _json_fallback(obj: Any):
         return int(obj)
     if isinstance(obj, (np.floating,)):
         return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        # Array-valued params (shard `voxel_subset` index sets, ndarray
+        # `init` seed images) enter the key by content hash, so two child
+        # jobs differing only in their seed image or stripe never alias.
+        arr = np.ascontiguousarray(obj)
+        return {
+            "__ndarray_sha256__": hashlib.sha256(arr.tobytes()).hexdigest(),
+            "shape": list(arr.shape),
+            "dtype": str(arr.dtype),
+        }
     raise TypeError(f"unsupported param type {type(obj).__name__}")
 
 

@@ -20,14 +20,31 @@ POST      ``/jobs``               submit ``{"driver", "scan", "params",
                                   429 + ``Retry-After`` when admission control
                                   rejects (queue full); 400 malformed;
                                   409 duplicate active id; 503 +
-                                  ``Retry-After`` closed/closing service
-GET       ``/jobs/<id>``          status snapshot (404 unknown, 410 evicted)
+                                  ``Retry-After`` closed/closing service.
+                                  An optional ``"shards"`` object turns the
+                                  submission into a *job group*
+                                  (:mod:`repro.multires.shards`):
+                                  ``{"mode": "slices"}`` fans a volume-scan
+                                  file (``repro.io.save_volume_scan``) out as
+                                  one child per slice; ``{"mode": "rows",
+                                  "n_shards", "halo"?, "rounds"?,
+                                  "sweeps_per_round"?}`` runs one oversized
+                                  slice as halo-exchanged row stripes.  The
+                                  201 body carries the *group* id, which the
+                                  status/result/cancel routes below accept
+                                  like any job id.  Invalid shard specs → 400
+GET       ``/jobs/<id>``          status snapshot (404 unknown, 410 evicted);
+                                  group ids answer the aggregate snapshot
+                                  (child count/progress/rounds + child ids)
 GET       ``/jobs/<id>/result``   the reconstruction as ``result.npz`` bytes
                                   (``application/octet-stream``); optional
                                   ``?timeout=S`` blocks for a finish; 409 +
                                   ``Retry-After`` while PENDING/RUNNING,
-                                  410 if CANCELLED, 500 if FAILED
-DELETE    ``/jobs/<id>``          request cancellation → 202 (404 unknown)
+                                  410 if CANCELLED, 500 if FAILED.  Group ids
+                                  stream the *stitched* volume in the same
+                                  container
+DELETE    ``/jobs/<id>``          request cancellation → 202 (404 unknown);
+                                  group ids cancel every child
 GET       ``/metrics``            Prometheus text format: every recorder
                                   counter + span total, plus live gauges
                                   (queue depth, known jobs)
@@ -68,6 +85,7 @@ from typing import Any
 from repro.ct.sinogram import ScanData
 from repro.io import save_reconstruction
 from repro.io import load_scan as _load_scan
+from repro.io import load_volume_scan as _load_volume_scan
 from repro.observability import MetricsRecorder
 from repro.service.jobs import (
     EvictedJobError,
@@ -130,6 +148,8 @@ class HttpGateway:
         self._own_service = own_service
         self._scan_lock = threading.Lock()
         self._scan_cache: OrderedDict[tuple[str, int], ScanData] = OrderedDict()
+        self._coord_lock = threading.Lock()
+        self._coordinator = None  # lazy ShardCoordinator (first group submit)
         handler = type("BoundHandler", (_Handler,), {"gateway": self})
         self.server = ThreadingHTTPServer((host, int(port)), handler)
         self.server.daemon_threads = True
@@ -185,12 +205,38 @@ class HttpGateway:
         self.close()
         return False
 
+    # -- shard groups ----------------------------------------------------
+    @property
+    def coordinator(self):
+        """The gateway's :class:`~repro.multires.shards.ShardCoordinator`.
+
+        Built on first use so gateways that never see a sharded submission
+        pay nothing; imported lazily to keep the service import graph free
+        of the shards module at start-up.
+        """
+        with self._coord_lock:
+            if self._coordinator is None:
+                from repro.multires.shards import ShardCoordinator
+
+                self._coordinator = ShardCoordinator(self.service)
+            return self._coordinator
+
+    def has_group(self, job_id: str) -> bool:
+        """Whether ``job_id`` names a shard group (never touches the service)."""
+        with self._coord_lock:
+            coord = self._coordinator
+        return coord is not None and coord.has(job_id)
+
     # -- scan resolution -------------------------------------------------
-    def load_scan(self, scan: str) -> ScanData:
-        """The scan named by a submission, via the (path, mtime) cache."""
+    def _resolve(self, scan: str) -> Path:
         path = Path(scan)
         if not path.is_absolute() and self.scan_root is not None:
             path = self.scan_root / path
+        return path
+
+    def load_scan(self, scan: str) -> ScanData:
+        """The scan named by a submission, via the (path, mtime) cache."""
+        path = self._resolve(scan)
         stat = path.stat()  # raises FileNotFoundError -> 400 at the handler
         key = (str(path), stat.st_mtime_ns)
         with self._scan_lock:
@@ -208,6 +254,15 @@ class HttpGateway:
             while len(self._scan_cache) > self.scan_cache_size:
                 self._scan_cache.popitem(last=False)
             return entry
+
+    def load_volume(self, scan: str) -> list[ScanData]:
+        """The volume scan (per-slice stack) named by a sharded submission.
+
+        Uncached: volume submissions are rare relative to the single-scan
+        load-generator workload the (path, mtime) cache exists for, and the
+        stacks are large.
+        """
+        return _load_volume_scan(self._resolve(scan))
 
     # -- metrics ---------------------------------------------------------
     @property
@@ -330,9 +385,11 @@ class _Handler(BaseHTTPRequestHandler):
             scan_name = doc["scan"]
         except KeyError as exc:
             return self._send_error_json(400, f"missing required field {exc}")
-        unknown = set(doc) - {"driver", "scan", "params", "priority", "job_id"}
+        unknown = set(doc) - {"driver", "scan", "params", "priority", "job_id", "shards"}
         if unknown:
             return self._send_error_json(400, f"unknown fields {sorted(unknown)}")
+        if doc.get("shards") is not None:
+            return self._post_group(doc, driver, scan_name)
         try:
             spec = JobSpec(
                 driver=driver,
@@ -375,7 +432,79 @@ class _Handler(BaseHTTPRequestHandler):
             headers={"Location": f"/jobs/{job_id}"},
         )
 
+    def _post_group(self, doc: dict[str, Any], driver: str, scan_name: str) -> None:
+        """Submit a shard group (``"shards"`` object present in the body)."""
+        gw = self.gateway
+        shards = doc["shards"]
+        if not isinstance(shards, dict):
+            return self._send_error_json(400, "shards must be a JSON object")
+        known = {"mode", "n_shards", "halo", "rounds", "sweeps_per_round", "seed"}
+        unknown = set(shards) - known
+        if unknown:
+            return self._send_error_json(400, f"unknown shards fields {sorted(unknown)}")
+        mode = shards.get("mode")
+        if mode not in ("slices", "rows"):
+            return self._send_error_json(
+                400, f"shards.mode must be 'slices' or 'rows', got {mode!r}"
+            )
+        params = dict(doc.get("params") or {})
+        priority = int(doc.get("priority") or 0)
+        group_id = doc.get("job_id")
+        coord = gw.coordinator
+        try:
+            if mode == "slices":
+                extra = set(shards) - {"mode"}
+                if extra:
+                    return self._send_error_json(
+                        400, f"shards fields {sorted(extra)} only apply to mode 'rows'"
+                    )
+                scans = gw.load_volume(scan_name)
+                gid = coord.submit_volume(
+                    scans,
+                    driver=driver,
+                    params=params,
+                    priority=priority,
+                    group_id=group_id,
+                )
+            else:
+                if driver != "icd":
+                    return self._send_error_json(
+                        400,
+                        f"rows-mode sharding runs sequential ICD children; "
+                        f"driver must be 'icd', got {driver!r}",
+                    )
+                gid = coord.submit_sharded(
+                    gw.load_scan(scan_name),
+                    params=params,
+                    n_shards=int(shards.get("n_shards", 2)),
+                    halo=int(shards.get("halo", 1)),
+                    rounds=int(shards.get("rounds", 2)),
+                    sweeps_per_round=int(shards.get("sweeps_per_round", 1)),
+                    seed=int(shards.get("seed", 0)),
+                    priority=priority,
+                    group_id=group_id,
+                )
+        except (OSError, ValueError, TypeError) as exc:
+            return self._send_error_json(400, f"bad sharded submission: {exc}")
+        except AdmissionError as exc:
+            gw.rec.count("http.jobs_rejected_429")
+            return self._send_error_json(
+                429, str(exc), headers={"Retry-After": f"{gw.retry_after_s:g}"}
+            )
+        except (QueueClosedError, RuntimeError) as exc:
+            gw.rec.count("http.jobs_rejected_503")
+            return self._send_error_json(
+                503, str(exc), headers={"Retry-After": f"{gw.retry_after_s:g}"}
+            )
+        self._send_json(
+            201,
+            {"job_id": gid, "state": coord.status(gid)["state"], "group": True},
+            headers={"Location": f"/jobs/{gid}"},
+        )
+
     def _get_status(self, job_id: str) -> None:
+        if self.gateway.has_group(job_id):
+            return self._send_json(200, self.gateway.coordinator.status(job_id))
         try:
             snap = self.gateway.service.status(job_id)
         except EvictedJobError as exc:
@@ -386,6 +515,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_result(self, job_id: str) -> None:
         gw = self.gateway
+        if gw.has_group(job_id):
+            return self._get_group_result(job_id)
         try:
             job = gw.service.job(job_id)
         except EvictedJobError as exc:
@@ -437,7 +568,50 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _get_group_result(self, job_id: str) -> None:
+        """Stream a group's stitched volume (same npz container as jobs)."""
+        gw = self.gateway
+        group = gw.coordinator.group(job_id)
+        timeout = self._query().get("timeout")
+        if timeout is not None:
+            try:
+                group.wait(min(max(0.0, float(timeout)), 300.0))
+            except ValueError:
+                return self._send_error_json(400, f"bad timeout {timeout!r}")
+        snap = group.snapshot()
+        state = snap["state"]
+        if state == "FAILED":
+            return self._send_error_json(500, f"group failed: {group.error}", state=state)
+        if state == "CANCELLED":
+            return self._send_error_json(410, "group was cancelled", state=state)
+        if state != "DONE" or group.result is None:
+            return self._send_error_json(
+                409,
+                f"group is {state}; stitched result not available yet",
+                headers={"Retry-After": f"{gw.retry_after_s:g}"},
+                state=state,
+            )
+        entry = group.result
+        with tempfile.TemporaryDirectory(prefix="repro-http-") as tmp:
+            path = Path(tmp) / "result.npz"
+            save_reconstruction(
+                path,
+                entry.image,
+                entry.history,
+                metadata={"job_id": job_id, **entry.metadata},
+            )
+            body = path.read_bytes()
+        self._send_bytes(
+            200,
+            body,
+            "application/octet-stream",
+            headers={"Content-Disposition": f'attachment; filename="{job_id}.npz"'},
+        )
+
     def _delete_job(self, job_id: str) -> None:
+        if self.gateway.has_group(job_id):
+            cancelled = self.gateway.coordinator.cancel(job_id)
+            return self._send_json(202, {"job_id": job_id, "cancel_requested": cancelled})
         try:
             cancelled = self.gateway.service.cancel(job_id)
         except EvictedJobError as exc:

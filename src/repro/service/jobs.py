@@ -48,8 +48,10 @@ __all__ = [
     "Job",
 ]
 
-#: Reconstruction drivers a job may request.
-DRIVERS = ("icd", "psv_icd", "gpu_icd")
+#: Reconstruction drivers a job may request.  ``multires`` is the
+#: coarse-to-fine pyramid (repro.multires), which runs one of the other
+#: three per level (``base_driver`` param, default ``icd``).
+DRIVERS = ("icd", "psv_icd", "gpu_icd", "multires")
 
 
 # ----------------------------------------------------------------------

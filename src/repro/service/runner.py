@@ -33,6 +33,7 @@ from repro.core.icd import icd_reconstruct
 from repro.core.psv_icd import psv_icd_reconstruct
 from repro.ct.geometry import ParallelBeamGeometry
 from repro.ct.system_matrix import SystemMatrix, build_system_matrix
+from repro.multires.pyramid import multires_reconstruct
 from repro.resilience import FaultInjector, IntegritySentinel
 from repro.service.faults import DegradingCheckpointManager
 from repro.service.jobs import JobSpec
@@ -43,6 +44,7 @@ _DRIVER_FNS = {
     "icd": icd_reconstruct,
     "psv_icd": psv_icd_reconstruct,
     "gpu_icd": gpu_icd_reconstruct,
+    "multires": multires_reconstruct,
 }
 
 _GPU_PARAM_FIELDS = frozenset(f.name for f in dataclasses.fields(GPUICDParams))
@@ -102,16 +104,29 @@ def cache_key_defaults(
     affect the job, and ``"inline"`` is the drivers' own default — all
     three map to ``{}`` so keys of fleets that never set a backend default
     are unchanged.
+
+    ``multires`` additionally folds its resolved ``base_driver`` default
+    into the key (same bug class as the backend fix above): an explicit
+    ``base_driver="icd"`` and an omitted one run the identical pyramid,
+    so they must share a cache entry — while ``base_driver="psv_icd"``,
+    whose iterates validly differ, must not.  Pyramid/shard params that
+    arrive explicitly (``levels``, ``coarse_equits``, ``voxel_subset``,
+    ndarray ``init`` seeds, ...) are spec params and therefore keyed
+    already — :func:`repro.service.cache.cache_key` hashes ndarray values
+    by content.
     """
-    if not driver_defaults or "backend" not in driver_defaults:
-        return {}
-    if "backend" in params:
-        return {}
-    if "backend" not in inspect.signature(_DRIVER_FNS[driver]).parameters:
-        return {}
-    if driver_defaults["backend"] == "inline":
-        return {}
-    return {"execution_model": "snapshot"}
+    defaults: dict[str, Any] = {}
+    if driver == "multires" and "base_driver" not in params:
+        defaults["base_driver"] = "icd"
+    if (
+        driver_defaults
+        and "backend" in driver_defaults
+        and "backend" not in params
+        and "backend" in inspect.signature(_DRIVER_FNS[driver]).parameters
+        and driver_defaults["backend"] != "inline"
+    ):
+        defaults["execution_model"] = "snapshot"
+    return defaults
 
 
 def _split_gpu_params(params: dict[str, Any]) -> dict[str, Any]:

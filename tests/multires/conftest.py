@@ -1,0 +1,39 @@
+"""Fixtures for the multires suite.
+
+The pyramid needs coarsening factors that divide ``n_views`` and
+``n_channels`` as well as ``n_pixels``; ``scaled_geometry(32)`` has 45
+views (factor 2 invalid), so these tests use a custom 32-pixel geometry
+with 48 views and 64 channels — every power-of-two factor up to 8 divides
+all three.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.icd import icd_reconstruct
+from repro.ct import build_system_matrix, shepp_logan, simulate_scan
+from repro.ct.geometry import ParallelBeamGeometry
+
+
+@pytest.fixture(scope="session")
+def mr_geom():
+    return ParallelBeamGeometry(n_pixels=32, n_views=48, n_channels=64)
+
+
+@pytest.fixture(scope="session")
+def mr_system(mr_geom):
+    return build_system_matrix(mr_geom)
+
+
+@pytest.fixture(scope="session")
+def mr_scan(mr_system):
+    return simulate_scan(shepp_logan(32), mr_system, dose=1e5, seed=1)
+
+
+@pytest.fixture(scope="session")
+def mr_golden(mr_scan, mr_system):
+    """Well-converged reference for convergence-target tests."""
+    return icd_reconstruct(
+        mr_scan, mr_system, max_equits=25, seed=0, track_cost=False
+    ).image

@@ -1,0 +1,111 @@
+"""CLI surface for the multires subsystem: flags, exit codes, report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import EXIT_OK, EXIT_USAGE, build_parser, main
+
+
+class TestParser:
+    def test_profile_accepts_multires_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "--multires", "--levels", "32,64",
+             "--shards", "2", "--halo", "2", "--rounds", "3"]
+        )
+        assert args.multires is True
+        assert args.levels == "32,64"
+        assert args.shards == 2
+        assert args.halo == 2
+        assert args.rounds == 3
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.multires is False
+        assert args.levels is None
+        assert args.shards is None
+        assert args.halo == 1
+        assert args.rounds == 2
+
+
+class TestUsageErrors:
+    def test_levels_without_multires_exits_2(self, capsys):
+        assert main(["profile", "--levels", "32,64"]) == EXIT_USAGE
+        assert "--levels requires --multires" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "64,32",  # descending
+            "48,64",  # 48 does not divide 64
+            "0",  # nonpositive
+            "32,64,128",  # does not end at --pixels
+            "banana",  # unparseable
+        ],
+    )
+    def test_bad_level_specs_exit_2(self, spec, capsys):
+        code = main(["profile", "--multires", "--pixels", "64",
+                     "--levels", spec, "--equits", "0.5"])
+        assert code == EXIT_USAGE
+        assert "invalid --levels spec" in capsys.readouterr().err
+
+    def test_oversubscribed_shards_exit_2(self, capsys):
+        code = main(["profile", "--pixels", "32", "--shards", "99"])
+        assert code == EXIT_USAGE
+        assert "invalid shard plan" in capsys.readouterr().err
+
+    def test_negative_halo_exits_2(self, capsys):
+        code = main(["profile", "--pixels", "32", "--shards", "2",
+                     "--halo", "-1"])
+        assert code == EXIT_USAGE
+
+    def test_zero_rounds_exits_2(self, capsys):
+        code = main(["profile", "--pixels", "32", "--shards", "2",
+                     "--rounds", "0"])
+        assert code == EXIT_USAGE
+        assert "--rounds" in capsys.readouterr().err
+
+
+class TestHappyPaths:
+    def test_multires_profile_reports_levels(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main(["profile", "--multires", "--pixels", "64",
+                     "--levels", "32,64", "--driver", "icd",
+                     "--equits", "1.0", "--metrics-json", str(path)])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "multires:" in out
+        report = json.loads(path.read_text())
+        assert report["levels"] == [32, 64]
+        entry = report["drivers"]["multires"]
+        assert [lvl["size"] for lvl in entry["levels"]] == [32, 64]
+        assert [lvl["factor"] for lvl in entry["levels"]] == [2, 1]
+        # Effective equits discount coarse work by 1/factor^2.
+        assert entry["total_effective_equits"] == pytest.approx(
+            sum(lvl["effective_equits"] for lvl in entry["levels"])
+        )
+        # The plain icd driver ran alongside for comparison.
+        assert "icd" in report["drivers"]
+
+    def test_auto_levels_single_level_geometry(self, capsys):
+        """scaled_geometry(32) has 45 views — no factor divides, so the
+        auto pyramid degenerates to a single full-resolution level."""
+        code = main(["profile", "--multires", "--pixels", "32",
+                     "--driver", "icd", "--equits", "0.5"])
+        assert code == EXIT_OK
+        assert "multires:" in capsys.readouterr().out
+
+    def test_sharded_profile_reports_makespan(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main(["profile", "--pixels", "32", "--driver", "icd",
+                     "--equits", "0.5", "--shards", "2", "--rounds", "1",
+                     "--metrics-json", str(path)])
+        assert code == EXIT_OK
+        assert "sharded: 2 stripes x 1 rounds" in capsys.readouterr().out
+        sharded = json.loads(path.read_text())["sharded"]
+        assert sharded["n_shards"] == 2
+        assert sharded["rounds"] == 1
+        assert sharded["makespan_s"] > 0
+        assert sharded["rmse_hu_vs_unsharded"] < 50.0

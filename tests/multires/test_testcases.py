@@ -1,0 +1,86 @@
+"""Large and multi-slice test-case families for the multires workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.testcases import (
+    LARGE_MIN_PIXELS,
+    VolumeTestCase,
+    generate_large_suite,
+    generate_suite,
+    generate_volume_suite,
+    scans_for_volume_case,
+)
+
+
+class TestLargeSuite:
+    def test_default_size_is_the_floor(self):
+        cases = generate_large_suite(2)
+        assert all(c.image.shape == (LARGE_MIN_PIXELS,) * 2 for c in cases)
+
+    def test_below_floor_rejected(self):
+        with pytest.raises(ValueError, match="large family starts at 256"):
+            generate_large_suite(1, 128)
+
+    def test_matches_generate_suite_at_same_seed(self):
+        a = generate_large_suite(2, 256, seed=7)
+        b = generate_suite(2, 256, seed=7)
+        for ca, cb in zip(a, b):
+            assert ca.name == cb.name
+            assert ca.dose == cb.dose
+            np.testing.assert_array_equal(ca.image, cb.image)
+
+
+class TestVolumeSuite:
+    def test_shapes_and_determinism(self):
+        a = generate_volume_suite(4, n_slices=3, n_pixels=24, seed=5)
+        b = generate_volume_suite(4, n_slices=3, n_pixels=24, seed=5)
+        assert len(a) == 4
+        for ca, cb in zip(a, b):
+            assert isinstance(ca, VolumeTestCase)
+            assert ca.volume.shape == (3, 24, 24)
+            assert ca.n_slices == 3
+            np.testing.assert_array_equal(ca.volume, cb.volume)
+
+    def test_both_families_represented(self):
+        names = {c.name.split("-vol-")[0]
+                 for c in generate_volume_suite(12, n_slices=2, n_pixels=16)}
+        assert names == {"ellipsoid", "conveyor"}
+
+    def test_conveyor_slices_are_independent_scenes(self):
+        cases = generate_volume_suite(12, n_slices=3, n_pixels=24, seed=1)
+        conveyor = next(c for c in cases if c.name.startswith("conveyor"))
+        assert not np.array_equal(conveyor.volume[0], conveyor.volume[1])
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_nonpositive_counts_rejected(self, bad):
+        with pytest.raises(ValueError):
+            generate_volume_suite(bad, n_slices=2, n_pixels=16)
+        with pytest.raises(ValueError):
+            generate_volume_suite(1, n_slices=bad, n_pixels=16)
+
+    def test_scans_for_volume_case(self, mr_system):
+        case = generate_volume_suite(1, n_slices=2, n_pixels=32, seed=2)[0]
+        scans = scans_for_volume_case(case, mr_system)
+        assert len(scans) == 2
+        for scan, truth in zip(scans, case.volume):
+            assert scan.sinogram.shape == (48, 64)
+            np.testing.assert_array_equal(scan.ground_truth, truth)
+
+    def test_volume_round_trips_through_volume_container(
+        self, mr_system, tmp_path
+    ):
+        from repro.io import load_volume_scan, save_volume_scan
+
+        case = generate_volume_suite(1, n_slices=3, n_pixels=32, seed=4)[0]
+        scans = scans_for_volume_case(case, mr_system)
+        path = tmp_path / "vol.npz"
+        save_volume_scan(path, scans)
+        loaded = load_volume_scan(path)
+        assert len(loaded) == 3
+        for orig, back in zip(scans, loaded):
+            np.testing.assert_array_equal(orig.sinogram, back.sinogram)
+            np.testing.assert_array_equal(orig.weights, back.weights)
+            np.testing.assert_array_equal(orig.ground_truth, back.ground_truth)
